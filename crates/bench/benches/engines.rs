@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the engines underneath the reproduction: schedule
+//! generation, validation, the discrete-event simulator, the abstract
+//! replay, the tensor substrate, and the threaded runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hanayo_cluster::collective::ring_allreduce_time;
+use hanayo_cluster::topology::{fc_full_nvlink, lonestar6};
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::gantt::replay_timeline;
+use hanayo_core::memory::unit_profile;
+use hanayo_core::schedule::{build_compute_schedule, build_schedule};
+use hanayo_core::validate::validate;
+use hanayo_model::builders::MicroModel;
+use hanayo_model::{CostTable, ModelConfig};
+use hanayo_runtime::trainer::{synthetic_data, train, TrainerConfig};
+use hanayo_runtime::LossKind;
+use hanayo_sim::{simulate, SimOptions};
+use hanayo_tensor::rng::{seeded, uniform};
+use hanayo_tensor::Stage;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    let cfg = PipelineConfig::new(8, 16, Scheme::Hanayo { waves: 2 }).unwrap();
+    g.bench_function("generate_hanayo_w2_p8_b16", |b| {
+        b.iter(|| black_box(build_schedule(&cfg).unwrap()))
+    });
+    let schedule = build_schedule(&cfg).unwrap();
+    g.bench_function("validate_hanayo_w2_p8_b16", |b| {
+        b.iter(|| validate(black_box(&schedule)).unwrap())
+    });
+    let cs = build_compute_schedule(&cfg).unwrap();
+    g.bench_function("abstract_replay", |b| {
+        b.iter(|| black_box(replay_timeline(&cs, 1, 2, 0)))
+    });
+    g.bench_function("unit_memory_profile", |b| b.iter(|| black_box(unit_profile(&cs))));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let cfg = PipelineConfig::new(8, 16, Scheme::Hanayo { waves: 2 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 2);
+    let fc = fc_full_nvlink(8);
+    let tacc = lonestar6(8);
+    g.bench_function("simulate_fc", |b| {
+        b.iter(|| black_box(simulate(&schedule, &cost, &fc, SimOptions::default())))
+    });
+    g.bench_function("simulate_tacc", |b| {
+        b.iter(|| black_box(simulate(&schedule, &cost, &tacc, SimOptions::default())))
+    });
+    g.bench_function("ring_allreduce_cost", |b| {
+        let ring: Vec<usize> = (0..8).collect();
+        b.iter(|| black_box(ring_allreduce_time(&tacc, &ring, 1 << 30)))
+    });
+    g.finish();
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor");
+    let a = uniform(&mut seeded(1), 64, 64, 1.0);
+    let bm = uniform(&mut seeded(2), 64, 64, 1.0);
+    g.bench_function("matmul_64", |b| b.iter(|| black_box(a.matmul(&bm))));
+    let stage = Stage::mlp(&mut seeded(3), 32, 2);
+    let x = uniform(&mut seeded(4), 8, 32, 0.5);
+    g.bench_function("stage_forward", |b| b.iter(|| black_box(stage.forward(&x))));
+    let (_, stash) = stage.forward(&x);
+    let dy = uniform(&mut seeded(5), 8, 32, 0.5);
+    g.bench_function("stage_backward", |b| {
+        b.iter(|| black_box(stage.backward(&stash, &dy)))
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    // The auto-tuner: full strategy-space search on one 8-GPU cluster.
+    g.bench_function("tuner_bert_8gpu", |b| {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = lonestar6(8);
+        let opts = hanayo_sim::TuneOptions { min_pp: 4, ..Default::default() };
+        b.iter(|| black_box(hanayo_sim::tune(&model, &cluster, 8, 1, &opts)))
+    });
+    // Activation-recomputation ablation: same schedule, both cost tables.
+    g.bench_function("recompute_ablation", |b| {
+        let cfg = PipelineConfig::new(8, 8, Scheme::Hanayo { waves: 2 }).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cluster = lonestar6(8);
+        let plain = CostTable::build_with(
+            &ModelConfig::bert64(), cfg.stages(), 2, hanayo_model::Recompute::None);
+        let ckpt = CostTable::build_with(
+            &ModelConfig::bert64(), cfg.stages(), 2, hanayo_model::Recompute::Full);
+        b.iter(|| {
+            (
+                black_box(simulate(&schedule, &plain, &cluster, SimOptions::default())),
+                black_box(simulate(&schedule, &ckpt, &cluster, SimOptions::default())),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    let cfg = PipelineConfig::new(2, 4, Scheme::Hanayo { waves: 1 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let s = schedule.stage_map.stages;
+    let model = MicroModel { width: 8, total_blocks: s as usize, seed: 5 };
+    let trainer = TrainerConfig {
+        schedule,
+        stages: model.build_stages(s),
+        lr: 0.05,
+        loss: LossKind::Mse,
+    };
+    let data = synthetic_data(6, 1, 4, 2, 8);
+    g.bench_function("threaded_iteration_p2_b4", |b| {
+        b.iter(|| black_box(train(&trainer, &data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling, bench_simulator, bench_tensor, bench_extensions, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! One Criterion benchmark per paper figure: each bench runs the same
+//! computation the `repro` harness uses to regenerate that figure, so
+//! `cargo bench` exercises every experiment end to end and tracks the
+//! harness's own performance.
+//!
+//! Figure 10's full grid search takes tens of seconds per evaluation, so
+//! its bench measures one representative search cell; the full grid runs
+//! in `repro fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hanayo_cluster::topology::lonestar6;
+use hanayo_model::ModelConfig;
+use hanayo_repro as repro;
+use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_bubble_theory", |b| b.iter(|| black_box(repro::fig1::data())));
+    g.bench_function("fig2_comparison_table", |b| b.iter(|| black_box(repro::fig2::data())));
+    g.bench_function("fig3_schedule_panels", |b| b.iter(|| black_box(repro::fig3::data())));
+    g.bench_function("fig4_sync_vs_async", |b| {
+        b.iter(|| (black_box(repro::fig4::sync_timeline()), black_box(repro::fig4::async_timeline())))
+    });
+    g.bench_function("fig5_transformation", |b| b.iter(|| black_box(repro::fig5::data().1)));
+    g.bench_function("fig6_wave_scaling", |b| b.iter(|| black_box(repro::fig6::data())));
+    g.bench_function("fig7_bubble_zones", |b| b.iter(|| black_box(repro::fig7::data())));
+    g.bench_function("fig8_memory_distribution", |b| b.iter(|| black_box(repro::fig8::data())));
+    g.bench_function("fig9_adaptability", |b| b.iter(|| black_box(repro::fig9::data())));
+    g.bench_function("fig10_search_cell", |b| {
+        // One representative cell of the Fig. 10 grid: BERT, (P=8, D=4),
+        // global batch 32, all four methods with Hanayo wave search.
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = lonestar6(32);
+        b.iter(|| {
+            let mut out = Vec::new();
+            for method in [
+                Method::GPipe,
+                Method::Dapple,
+                Method::ChimeraWave,
+                Method::Hanayo { waves: 2 },
+            ] {
+                let plan = ParallelPlan {
+                    method,
+                    dp: 4,
+                    pp: 8,
+                    micro_batches: 8,
+                    micro_batch_size: 3,
+                };
+                out.push(evaluate_plan(&plan, &model, &cluster, SimOptions::default()));
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("fig11_weak_scaling", |b| b.iter(|| black_box(repro::fig11::data())));
+    g.bench_function("fig12_strong_scaling", |b| b.iter(|| black_box(repro::fig12::data())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

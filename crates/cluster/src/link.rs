@@ -1,0 +1,109 @@
+//! Interconnect link models: bandwidth/latency classes for every kind of
+//! GPU-to-GPU path in the four clusters.
+
+use serde::{Deserialize, Serialize};
+
+/// The interconnect technologies appearing in the paper's clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Third-generation NVLink between an A100 pair (or via NVSwitch).
+    NvLink3,
+    /// Second-generation NVLink edge of a V100 hybrid cube mesh.
+    NvLink2,
+    /// PCIe 4.0 x16 host path (same socket).
+    Pcie4,
+    /// PCIe path crossing the socket interconnect.
+    Pcie4CrossSocket,
+    /// Mellanox InfiniBand HDR between nodes.
+    InfiniBandHdr,
+    /// Loopback: both stages on one device (free).
+    Local,
+}
+
+impl LinkClass {
+    /// Achievable unidirectional bandwidth in bytes/second (realistic
+    /// effective numbers, not marketing peaks).
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            LinkClass::NvLink3 => 250e9,
+            LinkClass::NvLink2 => 120e9,
+            LinkClass::Pcie4 => 22e9,
+            LinkClass::Pcie4CrossSocket => 16e9,
+            // HDR is 25 GB/s on the wire, but Lonestar6 packs three GPUs
+            // per node onto one HCA, so a single flow sees far less.
+            LinkClass::InfiniBandHdr => 12e9,
+            LinkClass::Local => f64::INFINITY,
+        }
+    }
+
+    /// One-way message latency in seconds (launch + wire + software stack).
+    pub fn latency(self) -> f64 {
+        match self {
+            LinkClass::NvLink3 => 4e-6,
+            LinkClass::NvLink2 => 5e-6,
+            LinkClass::Pcie4 => 8e-6,
+            LinkClass::Pcie4CrossSocket => 10e-6,
+            LinkClass::InfiniBandHdr => 18e-6,
+            LinkClass::Local => 0.0,
+        }
+    }
+}
+
+/// A concrete point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Technology class (determines defaults).
+    pub class: LinkClass,
+    /// Unidirectional bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// One-way latency, seconds.
+    pub latency: f64,
+}
+
+impl Link {
+    /// A link with its class's default characteristics.
+    pub fn of(class: LinkClass) -> Self {
+        Link { class, bandwidth: class.bandwidth(), latency: class.latency() }
+    }
+
+    /// Time to move `bytes` across this link: `latency + bytes/bandwidth`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if self.class == LinkClass::Local {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_beats_pcie_beats_ib() {
+        let mb = 4_000_000; // a typical activation message
+        let nv = Link::of(LinkClass::NvLink3).transfer_time(mb);
+        let pcie = Link::of(LinkClass::Pcie4).transfer_time(mb);
+        let ib = Link::of(LinkClass::InfiniBandHdr).transfer_time(mb);
+        assert!(nv < pcie, "{nv} {pcie}");
+        assert!(pcie < ib, "{pcie} {ib}");
+    }
+
+    #[test]
+    fn local_is_free() {
+        assert_eq!(Link::of(LinkClass::Local).transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let l = Link::of(LinkClass::InfiniBandHdr);
+        let t = l.transfer_time(64);
+        assert!((t - l.latency) / t < 0.01);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes() {
+        let l = Link::of(LinkClass::Pcie4);
+        assert!(l.transfer_time(1_000_000) < l.transfer_time(2_000_000));
+    }
+}

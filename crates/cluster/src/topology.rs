@@ -1,0 +1,280 @@
+//! Cluster topologies: who is wired to whom, and how fast.
+
+use crate::gpu::GpuModel;
+use crate::link::{Link, LinkClass};
+use serde::{Deserialize, Serialize};
+
+/// A complete cluster description: devices plus the link matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name used in figures ("PC", "FC", "TACC", "TC").
+    pub name: String,
+    /// GPU model per device.
+    pub gpus: Vec<GpuModel>,
+    /// Node id per device (inter-node links ride the fabric).
+    pub node: Vec<u32>,
+    /// Dense link matrix; `links[a][b]` is the path `a → b`.
+    pub links: Vec<Vec<Link>>,
+    /// Model FLOPs utilisation: fraction of peak the training kernels
+    /// actually achieve (0.4–0.5 is typical for well-tuned transformers).
+    pub mfu: f64,
+}
+
+impl ClusterSpec {
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// True when the cluster has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Effective FLOP/s of device `d` (peak × MFU).
+    pub fn effective_flops(&self, d: usize) -> f64 {
+        self.gpus[d].peak_flops() * self.mfu
+    }
+
+    /// The link used by a `a → b` transfer.
+    pub fn p2p(&self, a: usize, b: usize) -> Link {
+        self.links[a][b]
+    }
+
+    /// Transfer time for `bytes` from `a` to `b`.
+    pub fn p2p_time(&self, a: usize, b: usize, bytes: u64) -> f64 {
+        self.p2p(a, b).transfer_time(bytes)
+    }
+
+    /// Usable memory of device `d` in bytes.
+    pub fn memory(&self, d: usize) -> u64 {
+        self.gpus[d].usable_memory_bytes()
+    }
+
+    /// Restrict the cluster to a subset of devices (for a pipeline group in
+    /// a `D×P` plan). Ranks are remapped to `0..subset.len()` in the given
+    /// order.
+    pub fn select(&self, subset: &[usize]) -> ClusterSpec {
+        let gpus = subset.iter().map(|&i| self.gpus[i]).collect();
+        let node = subset.iter().map(|&i| self.node[i]).collect();
+        let links = subset
+            .iter()
+            .map(|&a| subset.iter().map(|&b| self.links[a][b]).collect())
+            .collect();
+        ClusterSpec { name: self.name.clone(), gpus, node, links, mfu: self.mfu }
+    }
+
+    /// The slowest link on a ring over the given devices — the bandwidth
+    /// bottleneck of a ring all-reduce.
+    pub fn worst_ring_link(&self, ring: &[usize]) -> Link {
+        let mut worst = Link::of(LinkClass::Local);
+        for (k, &a) in ring.iter().enumerate() {
+            let b = ring[(k + 1) % ring.len()];
+            let l = self.p2p(a, b);
+            if l.bandwidth < worst.bandwidth {
+                worst = l;
+            }
+        }
+        worst
+    }
+
+    fn build(
+        name: &str,
+        gpus: Vec<GpuModel>,
+        node: Vec<u32>,
+        class_of: impl Fn(usize, usize) -> LinkClass,
+        mfu: f64,
+    ) -> ClusterSpec {
+        let n = gpus.len();
+        let links = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| {
+                        if a == b {
+                            Link::of(LinkClass::Local)
+                        } else {
+                            Link::of(class_of(a, b))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ClusterSpec { name: name.to_string(), gpus, node, links, mfu }
+    }
+}
+
+/// TACC Lonestar6: `n` A100-40GB GPUs packed three per node. Within a node
+/// GPU 0 sits on socket 0 and GPUs 1–2 on socket 1 (§5: "GPU 0 on socket 0
+/// and GPU 1 and 2 on socket 1"), so 0↔{1,2} paths cross the socket.
+/// Nodes talk over InfiniBand HDR.
+pub fn lonestar6(n: usize) -> ClusterSpec {
+    let node: Vec<u32> = (0..n).map(|i| (i / 3) as u32).collect();
+    let node_for = node.clone();
+    ClusterSpec::build(
+        "TACC",
+        vec![GpuModel::A100_40G; n],
+        node,
+        move |a, b| {
+            if node_for[a] != node_for[b] {
+                LinkClass::InfiniBandHdr
+            } else {
+                let (la, lb) = (a % 3, b % 3);
+                // local GPU index 0 is alone on socket 0
+                if (la == 0) != (lb == 0) {
+                    LinkClass::Pcie4CrossSocket
+                } else {
+                    LinkClass::Pcie4
+                }
+            }
+        },
+        0.42,
+    )
+}
+
+/// Tencent GN10Xp cloud node: 8× V100-32GB in the DGX-1 hybrid cube mesh.
+/// Devices `a` and `b` share an NVLink edge when they are hypercube
+/// neighbours (differ in one bit) or belong to the two extra diagonal rings
+/// of the DGX-1 backplane; other pairs fall back to PCIe.
+pub fn tencent_v100(n: usize) -> ClusterSpec {
+    assert!(n <= 8, "the TC node has 8 GPUs");
+    ClusterSpec::build(
+        "TC",
+        vec![GpuModel::V100_32G; n],
+        vec![0; n],
+        |a, b| {
+            let direct = (a ^ b).count_ones() == 1 || (a ^ b) == 0b101 || (a ^ b) == 0b110;
+            if direct {
+                LinkClass::NvLink2
+            } else {
+                LinkClass::Pcie4
+            }
+        },
+        0.40,
+    )
+}
+
+/// Local cluster "PC": 8× A100-80GB with NVLink only inside the pairs
+/// (0,1), (2,3), (4,5), (6,7).
+pub fn pc_partial_nvlink(n: usize) -> ClusterSpec {
+    ClusterSpec::build(
+        "PC",
+        vec![GpuModel::A100_80G; n],
+        vec![0; n],
+        |a, b| {
+            if a / 2 == b / 2 {
+                LinkClass::NvLink3
+            } else {
+                LinkClass::Pcie4
+            }
+        },
+        0.45,
+    )
+}
+
+/// Local cluster "FC": 8× A100-80GB fully connected via NVSwitch.
+pub fn fc_full_nvlink(n: usize) -> ClusterSpec {
+    ClusterSpec::build("FC", vec![GpuModel::A100_80G; n], vec![0; n], |_, _| LinkClass::NvLink3, 0.45)
+}
+
+/// The four paper clusters at a given GPU count, in figure order
+/// (PC, FC, TACC, TC).
+pub fn paper_clusters(n: usize) -> Vec<ClusterSpec> {
+    vec![pc_partial_nvlink(n), fc_full_nvlink(n), lonestar6(n), tencent_v100(n.min(8))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_matrices_are_symmetric() {
+        for c in paper_clusters(8) {
+            for a in 0..c.len() {
+                for b in 0..c.len() {
+                    assert_eq!(c.p2p(a, b).class, c.p2p(b, a).class, "{} {a}<->{b}", c.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_local() {
+        for c in paper_clusters(8) {
+            for a in 0..c.len() {
+                assert_eq!(c.p2p(a, a).class, LinkClass::Local);
+            }
+        }
+    }
+
+    #[test]
+    fn lonestar6_packs_three_per_node() {
+        let c = lonestar6(8);
+        assert_eq!(c.node, vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        assert_eq!(c.p2p(0, 3).class, LinkClass::InfiniBandHdr);
+        assert_eq!(c.p2p(1, 2).class, LinkClass::Pcie4);
+        assert_eq!(c.p2p(0, 1).class, LinkClass::Pcie4CrossSocket);
+    }
+
+    #[test]
+    fn pc_pairs_have_nvlink_others_do_not() {
+        let c = pc_partial_nvlink(8);
+        assert_eq!(c.p2p(0, 1).class, LinkClass::NvLink3);
+        assert_eq!(c.p2p(1, 2).class, LinkClass::Pcie4);
+        assert_eq!(c.p2p(6, 7).class, LinkClass::NvLink3);
+    }
+
+    #[test]
+    fn fc_is_uniform_nvlink() {
+        let c = fc_full_nvlink(8);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(c.p2p(a, b).class, LinkClass::NvLink3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tencent_cube_mesh_has_both_kinds() {
+        let c = tencent_v100(8);
+        assert_eq!(c.p2p(0, 1).class, LinkClass::NvLink2);
+        assert_eq!(c.p2p(0, 4).class, LinkClass::NvLink2);
+        // 0 ^ 7 = 0b111: not a cube edge nor a backplane ring
+        assert_eq!(c.p2p(0, 7).class, LinkClass::Pcie4);
+    }
+
+    #[test]
+    fn fc_pipeline_neighbours_are_faster_than_tacc() {
+        let fc = fc_full_nvlink(8);
+        let tacc = lonestar6(8);
+        let bytes = 4_000_000;
+        assert!(fc.p2p_time(2, 3, bytes) < tacc.p2p_time(2, 3, bytes));
+    }
+
+    #[test]
+    fn select_remaps_ranks() {
+        let c = lonestar6(8);
+        let sub = c.select(&[3, 4, 5, 6]);
+        assert_eq!(sub.len(), 4);
+        // 3,4,5 share a node; 6 is on the next node.
+        assert_eq!(sub.p2p(0, 1).class, c.p2p(3, 4).class);
+        assert_eq!(sub.p2p(2, 3).class, LinkClass::InfiniBandHdr);
+    }
+
+    #[test]
+    fn effective_flops_applies_mfu() {
+        let c = fc_full_nvlink(8);
+        assert!(c.effective_flops(0) < GpuModel::A100_80G.peak_flops());
+        assert!(c.effective_flops(0) > 0.3 * GpuModel::A100_80G.peak_flops());
+    }
+
+    #[test]
+    fn worst_ring_link_finds_bottleneck() {
+        let c = lonestar6(8);
+        let worst = c.worst_ring_link(&[0, 1, 2, 3]);
+        assert_eq!(worst.class, LinkClass::InfiniBandHdr);
+        let pc = pc_partial_nvlink(8);
+        assert_eq!(pc.worst_ring_link(&[0, 1]).class, LinkClass::NvLink3);
+    }
+}

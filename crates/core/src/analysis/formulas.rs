@@ -1,0 +1,105 @@
+//! The Fig. 2 comparison table: bubble ratio, weight memory and activation
+//! memory per scheme, side by side.
+
+use super::{bubble, CostTerms};
+use crate::config::Scheme;
+use crate::memory;
+use crate::schedule::build_compute_schedule;
+use crate::config::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Fig. 2 table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Symbolic bubble-ratio formula (documentation string).
+    pub bubble_formula: &'static str,
+    /// Numeric bubble ratio at the given `(P, B)`.
+    pub bubble_ratio: f64,
+    /// Weight memory in Fig. 3 units (max over devices).
+    pub mw_units: f64,
+    /// Peak activation memory in Fig. 3 units (max over devices).
+    pub ma_units: f64,
+}
+
+/// Build the Fig. 2 comparison at a concrete `(P, B)` with `T_B = 2 T_F`,
+/// `T_C = 0`. `waves` selects the Hanayo row's wave count.
+pub fn comparison_table(p: u32, b: u32, waves: u32) -> Vec<ComparisonRow> {
+    let c = CostTerms::paper_default();
+    let schemes: Vec<(Scheme, &'static str, f64)> = vec![
+        (Scheme::GPipe, "(P-1)/(B+P-1)", bubble::gpipe(p, b, &c)),
+        (Scheme::Dapple, "(P-1)/(B+P-1)", bubble::dapple(p, b, &c)),
+        (Scheme::Chimera, "(P/2-1)/(B+P/2-1)", bubble::chimera(p, b, &c)),
+        (
+            Scheme::Hanayo { waves },
+            "(2P-2)/(3PW+P-1)  [Eq. 1, B=P]",
+            bubble::hanayo_eq1(p, waves, &c),
+        ),
+    ];
+    schemes
+        .into_iter()
+        .map(|(scheme, formula, ratio)| {
+            let cfg = PipelineConfig::new(p, b, scheme).expect("valid config");
+            let prof = memory::unit_profile(&build_compute_schedule(&cfg).expect("schedulable"));
+            let mw = prof.mw_units.iter().cloned().fold(0.0, f64::max);
+            let ma = prof.ma_peak_units.iter().cloned().fold(0.0, f64::max);
+            ComparisonRow {
+                scheme: scheme.to_string(),
+                bubble_formula: formula,
+                bubble_ratio: ratio,
+                mw_units: mw,
+                ma_units: ma,
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison as an aligned text table.
+pub fn render_table(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<34} {:>8} {:>6} {:>6}\n",
+        "scheme", "bubble formula", "bubble", "Mw", "Ma"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<34} {:>7.1}% {:>6.2} {:>6.2}\n",
+            r.scheme,
+            r.bubble_formula,
+            100.0 * r.bubble_ratio,
+            r.mw_units,
+            r.ma_units
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reproduces_fig2_arrows() {
+        // Fig. 2's qualitative arrows: GPipe high Ma; DAPPLE unbalanced but
+        // lower Ma; Chimera low bubble but 2x Mw; Hanayo low bubble, 1x Mw.
+        // (B > P is the regime where GPipe's stash-everything shows: at
+        // B = P the head of a 1F1B pipe stashes just as much.)
+        let rows = comparison_table(8, 16, 2);
+        let by = |name: &str| rows.iter().find(|r| r.scheme.contains(name)).unwrap().clone();
+        let (g, d, c, h) = (by("GPipe"), by("DAPPLE"), by("Chimera"), by("Hanayo"));
+        assert!(g.ma_units > d.ma_units || g.ma_units > h.ma_units, "GPipe Ma highest");
+        assert_eq!(c.mw_units, 2.0, "Chimera doubles weights");
+        assert_eq!(h.mw_units, 1.0, "Hanayo keeps one copy");
+        assert!(h.bubble_ratio < g.bubble_ratio);
+        assert!(c.bubble_ratio < g.bubble_ratio);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let rows = comparison_table(4, 4, 1);
+        let text = render_table(&rows);
+        assert_eq!(text.lines().count(), rows.len() + 1);
+        assert!(text.contains("Hanayo"));
+    }
+}

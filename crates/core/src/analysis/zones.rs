@@ -1,0 +1,157 @@
+//! The Fig. 7 bubble taxonomy: four bubble types in a Hanayo iteration.
+//!
+//! * **Zone A** — waiting for forward activations from peers at ramp-up;
+//!   single-bubble size `T_F/(2W) + T_C`.
+//! * **Zone B** — the forward/backward turnaround: backwards take longer
+//!   than forwards, so a device at local rank `LR` waits
+//!   `(P-LR)/(2W)·(T_B-T_F) + 2·T_C`.
+//! * **Zone C** — waiting for peer backwards at drain; sizes `T_B + 2T_C`
+//!   and `T_B + T_C`.
+//! * **Cross-communication** — the NCCL batching synchronisation,
+//!   contributing the `(P-2)/3·T_C` term of Eq. (1).
+//!
+//! [`analytic_zones`] evaluates those expressions; [`measure_zones`]
+//! classifies the *actual* idle gaps of a replayed timeline so the two can
+//! be compared (they agree on the paper's drawing convention, which is a
+//! regression test on the generator).
+
+use super::CostTerms;
+use crate::gantt::Timeline;
+use serde::{Deserialize, Serialize};
+
+/// Analytic single-bubble sizes per zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneSizes {
+    /// Zone A single bubble: `T_F/(2W) + T_C`.
+    pub zone_a: f64,
+    /// Zone B single bubble per local rank `0..P`.
+    pub zone_b: Vec<f64>,
+    /// Zone C bubble pair: `(T_B + 2T_C, T_B + T_C)`.
+    pub zone_c: (f64, f64),
+    /// Cross-communication term per device: `(P-2)/3 · T_C`.
+    pub cross_comm: f64,
+}
+
+/// Evaluate the Fig. 7 expressions.
+pub fn analytic_zones(p: u32, w: u32, c: &CostTerms) -> ZoneSizes {
+    let (pf, wf) = (p as f64, w as f64);
+    let zone_a = c.t_f / (2.0 * wf) + c.t_c;
+    let zone_b = (0..p)
+        .map(|lr| (pf - lr as f64) / (2.0 * wf) * (c.t_b - c.t_f) + 2.0 * c.t_c)
+        .collect();
+    let zone_c = (c.t_b + 2.0 * c.t_c, c.t_b + c.t_c);
+    let cross_comm = (pf - 2.0) / 3.0 * c.t_c;
+    ZoneSizes { zone_a, zone_b, zone_c, cross_comm }
+}
+
+/// Idle time of a replayed timeline, classified by what the device was
+/// waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMeasurement {
+    /// Idle immediately before a forward op (waiting for activations):
+    /// Zone A.
+    pub zone_a: u64,
+    /// Idle before the first backward following a forward (the fwd/bwd
+    /// turnaround): Zone B.
+    pub zone_b: u64,
+    /// Idle between/after backwards (drain + flush wait): Zone C.
+    pub zone_c: u64,
+}
+
+impl ZoneMeasurement {
+    /// Total classified idle.
+    pub fn total(&self) -> u64 {
+        self.zone_a + self.zone_b + self.zone_c
+    }
+}
+
+/// Classify every idle gap of a timeline.
+pub fn measure_zones(tl: &Timeline) -> ZoneMeasurement {
+    let mut m = ZoneMeasurement { zone_a: 0, zone_b: 0, zone_c: 0 };
+    for spans in &tl.spans {
+        let mut cursor = 0u64;
+        let mut prev_backward = false;
+        for span in spans {
+            if span.start > cursor {
+                let gap = span.start - cursor;
+                match (prev_backward, span.op.backward) {
+                    (_, false) => m.zone_a += gap,
+                    (false, true) => m.zone_b += gap,
+                    (true, true) => m.zone_c += gap,
+                }
+            }
+            cursor = span.end;
+            prev_backward = span.op.backward;
+        }
+        // Trailing wait until the global flush.
+        if tl.makespan > cursor {
+            m.zone_c += tl.makespan - cursor;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PipelineConfig, Scheme};
+    use crate::gantt::replay_timeline;
+    use crate::schedule::build_compute_schedule;
+
+    #[test]
+    fn zone_sizes_shrink_with_waves() {
+        let c = CostTerms::paper_default();
+        let z1 = analytic_zones(4, 1, &c);
+        let z2 = analytic_zones(4, 2, &c);
+        assert!(z2.zone_a < z1.zone_a);
+        assert!(z2.zone_b[0] < z1.zone_b[0]);
+    }
+
+    #[test]
+    fn zone_b_decreases_with_rank() {
+        let c = CostTerms::paper_default();
+        let z = analytic_zones(8, 2, &c);
+        for lr in 1..8 {
+            assert!(z.zone_b[lr] < z.zone_b[lr - 1]);
+        }
+    }
+
+    #[test]
+    fn cross_comm_vanishes_without_tc() {
+        let z = analytic_zones(8, 2, &CostTerms::paper_default());
+        assert_eq!(z.cross_comm, 0.0);
+        let z = analytic_zones(8, 2, &CostTerms::with_comm(1.0, 2.0, 0.3));
+        assert!(z.cross_comm > 0.0);
+    }
+
+    #[test]
+    fn measured_zones_sum_to_total_idle() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::Hanayo { waves: 2 }).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let tl = replay_timeline(&cs, 1, 2, 0);
+        let m = measure_zones(&tl);
+        let busy: u64 = tl.busy_per_device().iter().sum();
+        let idle = tl.makespan * tl.spans.len() as u64 - busy;
+        assert_eq!(m.total(), idle);
+    }
+
+    #[test]
+    fn hanayo_has_all_three_zones() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::Hanayo { waves: 1 }).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let tl = replay_timeline(&cs, 1, 2, 0);
+        let m = measure_zones(&tl);
+        assert!(m.zone_a > 0, "{m:?}");
+        assert!(m.zone_b > 0 || m.zone_c > 0, "{m:?}");
+    }
+
+    #[test]
+    fn gpipe_turnaround_is_dominated_by_b_and_c() {
+        // In GPipe the big bubble sits between forward and backward phases.
+        let cfg = PipelineConfig::new(4, 4, Scheme::GPipe).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let tl = replay_timeline(&cs, 1, 2, 0);
+        let m = measure_zones(&tl);
+        assert!(m.zone_b + m.zone_c > m.zone_a, "{m:?}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Abstract-time replay and textual Gantt rendering (Figs. 3, 5, 6).
+//!
+//! [`replay_timeline`] assigns start/end ticks to every compute op of a
+//! schedule under abstract unit costs (`T_F`-chunk, `T_B`-chunk, `T_C`),
+//! respecting both the per-device order frozen by the generator and the
+//! cross-device dependency chains. [`render`] draws the result as one text
+//! row per device — forward blocks print the micro-batch as `0-9A-Z`,
+//! backward blocks as `a-z`, idle as `.`:
+//!
+//! ```text
+//! P0 |0123aabbccdd..
+//! P1 |.0123aabbccdd.
+//! ```
+
+use crate::chain::{ComputeOp, ComputeSchedule};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A scheduled compute op with its abstract time span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Tick at which the op starts.
+    pub start: u64,
+    /// Tick at which the op ends (exclusive).
+    pub end: u64,
+    /// The op itself.
+    pub op: ComputeOp,
+}
+
+/// Per-device spans plus the overall makespan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// `spans[d]` are device `d`'s ops in execution order.
+    pub spans: Vec<Vec<Span>>,
+    /// End tick of the last op.
+    pub makespan: u64,
+}
+
+impl Timeline {
+    /// Fraction of device-ticks spent idle between tick 0 and the makespan —
+    /// the *bubble ratio* as measured on an executed schedule.
+    pub fn bubble_ratio(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let total = self.makespan * self.spans.len() as u64;
+        let busy: u64 = self
+            .spans
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|s| s.end - s.start)
+            .sum();
+        1.0 - busy as f64 / total as f64
+    }
+
+    /// Busy ticks per device.
+    pub fn busy_per_device(&self) -> Vec<u64> {
+        self.spans
+            .iter()
+            .map(|s| s.iter().map(|x| x.end - x.start).sum())
+            .collect()
+    }
+}
+
+/// Replay a compute schedule under abstract unit costs.
+///
+/// `f_cost`/`b_cost` are per stage-chunk; `comm_cost` is charged on every
+/// cross-device dependency edge (a simple `T_C` model — the full link-level
+/// model lives in `hanayo-sim`).
+pub fn replay_timeline(
+    cs: &ComputeSchedule,
+    f_cost: u64,
+    b_cost: u64,
+    comm_cost: u64,
+) -> Timeline {
+    let s = cs.stage_map.stages;
+    let n = cs.per_device.len();
+    let mut pc = vec![0usize; n];
+    let mut free = vec![0u64; n];
+    let mut done: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut spans: Vec<Vec<Span>> = (0..n).map(|_| Vec::new()).collect();
+    let mut remaining: usize = cs.per_device.iter().map(Vec::len).sum();
+
+    while remaining > 0 {
+        let mut progress = false;
+        for d in 0..n {
+            while pc[d] < cs.per_device[d].len() {
+                let op = cs.per_device[d][pc[d]];
+                let pos = op.pos(s);
+                let dep_ready = if pos == 0 {
+                    Some(0)
+                } else {
+                    done.get(&(op.mb.0, pos - 1)).map(|&t| {
+                        let prev = ComputeOp::from_pos(op.mb, pos - 1, s);
+                        let prev_dev = cs.stage_map.device_of(prev.mb, prev.stage);
+                        if prev_dev.idx() == d {
+                            t
+                        } else {
+                            t + comm_cost
+                        }
+                    })
+                };
+                let Some(ready) = dep_ready else { break };
+                let start = ready.max(free[d]);
+                let cost = if op.backward { b_cost } else { f_cost };
+                let end = start + cost;
+                spans[d].push(Span { start, end, op });
+                done.insert((op.mb.0, pos), end);
+                free[d] = end;
+                pc[d] += 1;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        assert!(progress, "replay stalled on an invalid schedule");
+    }
+
+    let makespan = free.into_iter().max().unwrap_or(0);
+    Timeline { spans, makespan }
+}
+
+/// Forward blocks print the micro-batch as `0-9A-Z`; backward blocks as
+/// `a-z` (so forward and backward are distinguishable even for digit
+/// indices); `*` beyond the drawable range.
+fn block_char(mb: u32, backward: bool) -> char {
+    if backward {
+        match mb {
+            0..=25 => (b'a' + mb as u8) as char,
+            _ => '*',
+        }
+    } else {
+        match mb {
+            0..=9 => (b'0' + mb as u8) as char,
+            10..=35 => (b'A' + (mb - 10) as u8) as char,
+            _ => '*',
+        }
+    }
+}
+
+/// Render a timeline as text, one device per row.
+pub fn render(tl: &Timeline) -> String {
+    let width = tl.makespan as usize;
+    let mut out = String::with_capacity((width + 8) * tl.spans.len());
+    for (d, spans) in tl.spans.iter().enumerate() {
+        let mut row = vec!['.'; width];
+        for span in spans {
+            let ch = block_char(span.op.mb.0, span.op.backward);
+            for cell in row
+                .iter_mut()
+                .take(span.end as usize)
+                .skip(span.start as usize)
+            {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("P{d:<2}|"));
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: replay with the paper's drawing costs (`T_B = 2 T_F`,
+/// `T_C = 0`) and render.
+pub fn render_paper_style(cs: &ComputeSchedule) -> String {
+    render(&replay_timeline(cs, 1, 2, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PipelineConfig, Scheme};
+    use crate::schedule::build_compute_schedule;
+
+    fn timeline(p: u32, b: u32, scheme: Scheme) -> Timeline {
+        let cfg = PipelineConfig::new(p, b, scheme).unwrap();
+        replay_timeline(&build_compute_schedule(&cfg).unwrap(), 1, 2, 0)
+    }
+
+    #[test]
+    fn gpipe_makespan_matches_closed_form() {
+        // (B + P - 1) * (TF + TB) with TF=1, TB=2.
+        let tl = timeline(4, 4, Scheme::GPipe);
+        assert_eq!(tl.makespan, (4 + 4 - 1) * 3);
+    }
+
+    #[test]
+    fn dapple_makespan_equals_gpipe_under_unit_costs() {
+        // 1F1B does not shorten the critical path, it only moves memory.
+        let g = timeline(4, 4, Scheme::GPipe);
+        let d = timeline(4, 4, Scheme::Dapple);
+        assert_eq!(g.makespan, d.makespan);
+    }
+
+    #[test]
+    fn bubble_ratio_matches_gpipe_formula() {
+        let tl = timeline(8, 8, Scheme::GPipe);
+        let expect = 7.0 / 15.0; // (P-1)/(P-1+B)
+        assert!((tl.bubble_ratio() - expect).abs() < 1e-9, "{}", tl.bubble_ratio());
+    }
+
+    #[test]
+    fn hanayo_two_waves_beats_one_wave_beats_dapple() {
+        let d = timeline(8, 8, Scheme::Dapple).bubble_ratio();
+        let h1 = timeline(8, 8, Scheme::Hanayo { waves: 1 }).bubble_ratio();
+        let h2 = timeline(8, 8, Scheme::Hanayo { waves: 2 }).bubble_ratio();
+        assert!(h1 < d, "H-1 {h1} vs DAPPLE {d}");
+        assert!(h2 < h1, "H-2 {h2} vs H-1 {h1}");
+    }
+
+    #[test]
+    fn busy_time_is_conserved_across_schemes() {
+        // Total busy ticks = 2S per mb per... each mb costs (1+2) per chunk,
+        // S chunks: 3S per mb; B mbs → 3SB total, independent of schedule.
+        for scheme in [Scheme::GPipe, Scheme::Dapple, Scheme::Hanayo { waves: 2 }] {
+            let tl = timeline(4, 4, scheme);
+            let busy: u64 = tl.busy_per_device().iter().sum();
+            let s = match scheme {
+                Scheme::Hanayo { .. } => 16,
+                _ => 4,
+            };
+            assert_eq!(busy, 3 * s * 4, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn render_shapes_are_consistent() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::GPipe).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let text = render_paper_style(&cs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows equal length
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        // device 0 starts immediately with mb 0 forward
+        assert!(lines[0].starts_with("P0 |0"));
+    }
+
+    #[test]
+    fn block_chars_cover_bases() {
+        assert_eq!(block_char(0, false), '0');
+        assert_eq!(block_char(0, true), 'a');
+        assert_eq!(block_char(10, false), 'A');
+        assert_eq!(block_char(10, true), 'k');
+        assert_eq!(block_char(99, false), '*');
+        assert_eq!(block_char(99, true), '*');
+    }
+}

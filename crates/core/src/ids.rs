@@ -1,0 +1,107 @@
+//! Strongly-typed identifiers used throughout the schedule IR.
+//!
+//! Keeping devices, stages and micro-batches as distinct newtypes prevents
+//! the classic index-mixup bugs in scheduling code, at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A worker (one GPU in the paper's terminology, one simulated device or one
+/// OS thread in ours). Identified by its rank within a single pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// A pipeline stage: one contiguous slice of the model's layers.
+///
+/// Stage indices are *global model positions*: stage `s` always denotes the
+/// same slice of layers regardless of which device executes it or which
+/// direction the hosting pipeline flows. A scheme with `S` stages partitions
+/// the model into `S` slices, `0..S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(pub u32);
+
+/// A micro-batch index within one training iteration (`0..B`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MicroBatch(pub u32);
+
+/// Index of a weight replica. Almost always `0`; Chimera's upward pipeline
+/// uses replica `1` because it stores a second full copy of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(pub u32);
+
+impl DeviceId {
+    /// Rank as a plain `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StageId {
+    /// Stage as a plain `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MicroBatch {
+    /// Micro-batch as a plain `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ReplicaId {
+    /// Replica as a plain `usize` for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for MicroBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mb{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(3).to_string(), "P3");
+        assert_eq!(StageId(7).to_string(), "S7");
+        assert_eq!(MicroBatch(0).to_string(), "mb0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_rank() {
+        assert!(DeviceId(0) < DeviceId(1));
+        assert!(StageId(2) < StageId(10));
+        assert!(MicroBatch(1) > MicroBatch(0));
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(DeviceId(5).idx(), 5);
+        assert_eq!(StageId(5).idx(), 5);
+        assert_eq!(MicroBatch(5).idx(), 5);
+        assert_eq!(ReplicaId(1).idx(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! PipeDream-style asynchronous 1F1B (Harlap et al. 2018) — Fig. 4(b).
+//!
+//! Asynchronous pipelines drop the end-of-iteration flush: iteration `n+1`
+//! forwards start while iteration `n` backwards are still draining, at the
+//! cost of stale weights (which is why the paper — and we — exclude it from
+//! the synchronous benchmark set). Within one iteration the op order is
+//! exactly 1F1B; the *absence of the flush barrier* is an engine property,
+//! exposed by `hanayo-sim`'s back-to-back iteration mode used to render
+//! Fig. 4.
+
+use crate::chain::ComputeSchedule;
+use crate::config::PipelineConfig;
+use crate::schedule::dapple;
+
+/// Generate the per-iteration op order (identical to DAPPLE; the schedule
+/// is asynchronous only across iterations).
+pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
+    let mut cs = dapple::generate(cfg);
+    cs.config = *cfg; // keep the AsyncPipeDream scheme marker
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn same_intra_iteration_order_as_dapple() {
+        let a = PipelineConfig::new(4, 4, Scheme::AsyncPipeDream).unwrap();
+        let d = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
+        assert_eq!(generate(&a).per_device, dapple::generate(&d).per_device);
+    }
+
+    #[test]
+    fn keeps_its_scheme_marker() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::AsyncPipeDream).unwrap();
+        assert_eq!(generate(&cfg).config.scheme, Scheme::AsyncPipeDream);
+    }
+}

@@ -1,0 +1,170 @@
+//! User-defined pipeline schemes.
+//!
+//! The paper's framework "offer[s] interfaces for users to modify existing
+//! schemes or develop their own" (§4.1). This module is that interface:
+//! hand the generator an arbitrary [`StageMap`] — any stage→device path(s)
+//! you can draw — plus scheduling knobs, and get back a validated,
+//! executable schedule usable by both engines.
+//!
+//! ```
+//! use hanayo_core::config::{PipelineConfig, Scheme};
+//! use hanayo_core::ids::{DeviceId, ReplicaId};
+//! use hanayo_core::schedule::custom::build_custom_schedule;
+//! use hanayo_core::schedule::listsched::ListParams;
+//! use hanayo_core::stage_map::{PathGroup, StageMap};
+//! use hanayo_core::validate::validate;
+//!
+//! // A "zigzag" pipeline: 0→1→2→3→1→2 (stages revisit the middle).
+//! let path = [0u32, 1, 2, 3, 1, 2].map(DeviceId).to_vec();
+//! let map = StageMap {
+//!     devices: 4,
+//!     stages: 6,
+//!     groups: vec![PathGroup { path, replica: ReplicaId(0) }],
+//!     mb_group: vec![0; 4],
+//! };
+//! let cfg = PipelineConfig::new(4, 4, Scheme::GPipe).unwrap(); // P and B only
+//! let schedule = build_custom_schedule(&cfg, map, ListParams::default()).unwrap();
+//! validate(&schedule).unwrap();
+//! ```
+
+use crate::action::Schedule;
+use crate::comm;
+use crate::config::PipelineConfig;
+use crate::schedule::listsched::{list_schedule, ListParams};
+use crate::schedule::ScheduleError;
+use crate::stage_map::StageMap;
+use std::fmt;
+
+/// Errors specific to user-provided stage maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CustomMapError {
+    /// A path references a device rank ≥ `devices`.
+    DeviceOutOfRange,
+    /// `mb_group` length does not match the micro-batch count, or an entry
+    /// references a missing group.
+    BadGroupAssignment,
+    /// A group's path length differs from `stages`.
+    BadPathLength,
+    /// The map declares no groups.
+    NoGroups,
+}
+
+impl fmt::Display for CustomMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CustomMapError::DeviceOutOfRange => write!(f, "path references an unknown device"),
+            CustomMapError::BadGroupAssignment => write!(f, "bad micro-batch group assignment"),
+            CustomMapError::BadPathLength => write!(f, "group path length != stage count"),
+            CustomMapError::NoGroups => write!(f, "stage map has no groups"),
+        }
+    }
+}
+
+impl std::error::Error for CustomMapError {}
+
+/// Check a user-provided map against a configuration.
+pub fn check_map(cfg: &PipelineConfig, map: &StageMap) -> Result<(), CustomMapError> {
+    if map.groups.is_empty() {
+        return Err(CustomMapError::NoGroups);
+    }
+    for group in &map.groups {
+        if group.path.len() != map.stages as usize {
+            return Err(CustomMapError::BadPathLength);
+        }
+        if group.path.iter().any(|d| d.0 >= map.devices) {
+            return Err(CustomMapError::DeviceOutOfRange);
+        }
+    }
+    if map.mb_group.len() != cfg.micro_batches as usize
+        || map.mb_group.iter().any(|&g| g >= map.groups.len())
+    {
+        return Err(CustomMapError::BadGroupAssignment);
+    }
+    Ok(())
+}
+
+/// Build a complete schedule from a user-provided stage map. The
+/// configuration contributes `P` and `B`; its `scheme` field is ignored
+/// (the map *is* the scheme).
+pub fn build_custom_schedule(
+    cfg: &PipelineConfig,
+    map: StageMap,
+    params: ListParams,
+) -> Result<Schedule, ScheduleError> {
+    check_map(cfg, &map).map_err(|_| ScheduleError::Config(crate::config::ConfigError::Empty))?;
+    let cs = list_schedule(cfg, map, params)?;
+    Ok(comm::lower(&cs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use crate::ids::{DeviceId, ReplicaId};
+    use crate::stage_map::PathGroup;
+    use crate::validate::validate;
+
+    fn cfg(p: u32, b: u32) -> PipelineConfig {
+        PipelineConfig::new(p, b, Scheme::GPipe).unwrap()
+    }
+
+    fn map(devices: u32, path: Vec<u32>, b: u32) -> StageMap {
+        StageMap {
+            devices,
+            stages: path.len() as u32,
+            groups: vec![PathGroup {
+                path: path.into_iter().map(DeviceId).collect(),
+                replica: ReplicaId(0),
+            }],
+            mb_group: vec![0; b as usize],
+        }
+    }
+
+    #[test]
+    fn zigzag_pipeline_schedules_and_validates() {
+        let m = map(4, vec![0, 1, 2, 3, 1, 2], 4);
+        let s = build_custom_schedule(&cfg(4, 4), m, ListParams::default()).unwrap();
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn single_device_chain_works() {
+        // Degenerate: the whole "pipeline" on one device — still valid.
+        let m = map(1, vec![0, 0, 0], 2);
+        let s = build_custom_schedule(&cfg(1, 2), m, ListParams::default()).unwrap();
+        validate(&s).unwrap();
+        // No communication at all.
+        for (_, a) in s.iter_actions() {
+            assert!(a.comm_ops().is_empty() || a.is_compute() || a == &crate::action::Action::OptimizerStep);
+        }
+    }
+
+    #[test]
+    fn reversed_pipeline_is_just_as_valid() {
+        let m = map(3, vec![2, 1, 0], 3);
+        let s = build_custom_schedule(&cfg(3, 3), m, ListParams::default()).unwrap();
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_device() {
+        let m = map(2, vec![0, 5], 2);
+        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::DeviceOutOfRange));
+    }
+
+    #[test]
+    fn rejects_bad_group_assignment() {
+        let mut m = map(2, vec![0, 1], 2);
+        m.mb_group = vec![0, 7];
+        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadGroupAssignment));
+        m.mb_group = vec![0];
+        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadGroupAssignment));
+    }
+
+    #[test]
+    fn rejects_path_length_mismatch() {
+        let mut m = map(2, vec![0, 1], 2);
+        m.stages = 3;
+        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadPathLength));
+    }
+}

@@ -1,0 +1,57 @@
+//! GPipe (Huang et al. 2018): the textbook synchronous pipeline.
+//!
+//! Every device runs the forwards of all `B` micro-batches in order, then
+//! all backwards in order (Fig. 3a). Simple, but all `B` activations stay
+//! stashed until backward, so activation memory is `B` units on every
+//! device and the bubble ratio is `(P-1)/(P-1+B)`.
+
+use crate::chain::{ComputeOp, ComputeSchedule};
+use crate::config::PipelineConfig;
+use crate::stage_map::StageMap;
+
+/// Generate GPipe's per-device compute order.
+pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
+    let map = StageMap::for_config(cfg);
+    let b = cfg.micro_batches;
+    let mut per_device: Vec<Vec<ComputeOp>> = (0..cfg.devices)
+        .map(|_| Vec::with_capacity(2 * b as usize))
+        .collect();
+    // Stage d lives on device d; forwards in micro-batch order...
+    for d in 0..cfg.devices {
+        for m in 0..b {
+            per_device[d as usize].push(ComputeOp::fwd(m, d));
+        }
+        // ...then backwards in micro-batch order.
+        for m in 0..b {
+            per_device[d as usize].push(ComputeOp::bwd(m, d));
+        }
+    }
+    ComputeSchedule { config: *cfg, stage_map: map, per_device }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn forwards_strictly_before_backwards() {
+        let cfg = PipelineConfig::new(4, 6, Scheme::GPipe).unwrap();
+        let cs = generate(&cfg);
+        for ops in &cs.per_device {
+            let first_bwd = ops.iter().position(|o| o.backward).unwrap();
+            assert!(ops[..first_bwd].iter().all(|o| !o.backward));
+            assert!(ops[first_bwd..].iter().all(|o| o.backward));
+        }
+    }
+
+    #[test]
+    fn op_counts() {
+        let cfg = PipelineConfig::new(3, 5, Scheme::GPipe).unwrap();
+        let cs = generate(&cfg);
+        assert_eq!(cs.total_ops(), cs.expected_ops());
+        for ops in &cs.per_device {
+            assert_eq!(ops.len(), 10);
+        }
+    }
+}

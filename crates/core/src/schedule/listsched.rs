@@ -1,0 +1,410 @@
+//! The constrained list scheduler used by the wave-shaped schemes.
+//!
+//! The paper's framework "automatically deploys the structure with any
+//! desired number of waves or devices" (§3.3). We realise that with a
+//! deterministic greedy list scheduler: simulate execution under abstract
+//! unit costs and freeze the order in which each device picked its ops.
+//!
+//! Policy (chosen to reproduce the paper's figures):
+//!
+//! * **Deepest-first** — among ready ops, the one furthest along its
+//!   dependency chain wins. This keeps every micro-batch flowing through
+//!   the wave instead of letting freshly-arrived shallow work interleave
+//!   and shear the wave apart, and it subsumes the 1F1B backward-priority
+//!   rule: backward positions are deeper than every forward position by
+//!   construction, so a ready backward always beats a ready forward.
+//! * **Micro-batch order tie-break** — equal depth resolves to the lower
+//!   micro-batch index, which keeps the schedule deterministic and the
+//!   waves ordered.
+//! * **Admission control** — at most `cap` micro-batches of each path group
+//!   may be in flight (entered forward, not yet finished their last
+//!   backward). This bounds activation memory exactly like 1F1B's warmup
+//!   depth does.
+
+use crate::chain::{ComputeOp, ComputeSchedule};
+use crate::config::PipelineConfig;
+use crate::ids::MicroBatch;
+use crate::schedule::ScheduleError;
+use crate::stage_map::StageMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// When does an in-flight micro-batch stop counting against the admission
+/// cap?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireRule {
+    /// When its final backward completes (strict 1F1B-style accounting).
+    /// Correct at `B ≤ P` but re-admission lags the chain latency, so
+    /// rounds stall at `B > P`.
+    FullChain,
+    /// When its last forward chunk completes. The backward backlog stays
+    /// bounded anyway because the deepest-first policy drains backwards
+    /// before admitting shallow work; this is what sustains the steady
+    /// state across rounds.
+    ForwardComplete,
+}
+
+/// Tunables for [`list_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct ListParams {
+    /// Abstract cost of one *stage-chunk* forward.
+    pub f_cost: u64,
+    /// Abstract cost of one stage-chunk backward (paper draws `T_B = 2 T_F`).
+    pub b_cost: u64,
+    /// Abstract cost charged between dependent ops on different devices.
+    pub comm_cost: u64,
+    /// Per-group in-flight micro-batch cap (`None` = unbounded, GPipe-like).
+    pub cap: Option<u32>,
+    /// Retirement rule for the cap.
+    pub retire: RetireRule,
+    /// Maximum live stash *chunks* per device. An **entry** forward
+    /// (chain position 0) is not dispatched while the device already holds
+    /// this many undischarged stashes; mid-chain ops always run. Deferring
+    /// an entry cannot stall any in-flight chain, so progress is
+    /// guaranteed, while the entry stashes are exactly the longest-lived
+    /// ones (they survive until the chain's very last backward) — limiting
+    /// them is what keeps a wave pipeline's activation peak near
+    /// Chimera's level instead of drifting to 1F1B's head-of-pipe `P`
+    /// units.
+    pub stash_limit: Option<u32>,
+}
+
+impl Default for ListParams {
+    fn default() -> Self {
+        ListParams {
+            f_cost: 1,
+            b_cost: 2,
+            comm_cost: 0,
+            cap: None,
+            retire: RetireRule::FullChain,
+            stash_limit: None,
+        }
+    }
+}
+
+/// Priority of a ready op within one device's ready set. `Ord` is "larger =
+/// run first" to suit a max-heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Prio {
+    pos: u32,         // deeper chain position first (subsumes 1F1B priority)
+    mb: Reverse<u32>, // lower micro-batch first
+}
+
+/// Event queue entries, ordered by time then sequence for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Device finished its current op.
+    DeviceDone { device: u32, mb: u32, pos: u32 },
+    /// A dependency (possibly with comm delay) resolved; op becomes ready.
+    OpReady { mb: u32, pos: u32 },
+}
+
+struct Engine<'a> {
+    map: &'a StageMap,
+    stages: u32,
+    params: ListParams,
+    ready: Vec<BinaryHeap<(Prio, u32, u32)>>,
+    busy: Vec<bool>,
+    order: Vec<Vec<ComputeOp>>,
+    in_flight: Vec<u32>,
+    pending: Vec<VecDeque<u32>>,
+    stash_chunks: Vec<u32>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    done: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn push_event(&mut self, time: u64, kind: EventKind) {
+        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    fn device_of(&self, mb: u32, pos: u32) -> usize {
+        let op = ComputeOp::from_pos(MicroBatch(mb), pos, self.stages);
+        let g = self.map.group_of(MicroBatch(mb));
+        self.map.groups[g].path[op.stage.idx()].idx()
+    }
+
+    /// Admit micro-batches of group `g` up to the cap.
+    fn admit(&mut self, g: usize, now: u64) {
+        let cap = self.params.cap.unwrap_or(u32::MAX);
+        while self.in_flight[g] < cap {
+            let Some(m) = self.pending[g].pop_front() else { break };
+            self.in_flight[g] += 1;
+            self.push_event(now, EventKind::OpReady { mb: m, pos: 0 });
+        }
+    }
+
+    /// Handle one event; returns the device whose ready set / busy state
+    /// changed.
+    fn handle(&mut self, ev: Event) -> usize {
+        let now = ev.time;
+        match ev.kind {
+            EventKind::OpReady { mb, pos } => {
+                let d = self.device_of(mb, pos);
+                let prio = Prio { pos, mb: Reverse(mb) };
+                self.ready[d].push((prio, mb, pos));
+                d
+            }
+            EventKind::DeviceDone { device, mb, pos } => {
+                let d = device as usize;
+                self.busy[d] = false;
+                self.done += 1;
+                let retire_pos = match self.params.retire {
+                    RetireRule::FullChain => 2 * self.stages - 1,
+                    RetireRule::ForwardComplete => self.stages - 1,
+                };
+                if pos == retire_pos {
+                    let g = self.map.group_of(MicroBatch(mb));
+                    self.in_flight[g] -= 1;
+                    self.admit(g, now);
+                }
+                if pos + 1 < 2 * self.stages {
+                    let next_d = self.device_of(mb, pos + 1);
+                    let delay = if next_d == d { 0 } else { self.params.comm_cost };
+                    self.push_event(now + delay, EventKind::OpReady { mb, pos: pos + 1 });
+                }
+                d
+            }
+        }
+    }
+
+    /// Start the best ready op on device `d` if it is idle.
+    ///
+    /// Entry forwards blocked by the stash limit sit at the *bottom* of
+    /// the priority heap (position 0), so when the top op is a blocked
+    /// entry the device genuinely has nothing else to do and idles; it is
+    /// re-examined on every event that touches it, including its own
+    /// stash-reducing backward completions.
+    fn dispatch(&mut self, d: usize, now: u64) {
+        if self.busy[d] {
+            return;
+        }
+        if let Some(&(_, mb, pos)) = self.ready[d].peek() {
+            let op = ComputeOp::from_pos(MicroBatch(mb), pos, self.stages);
+            if pos == 0 {
+                let limit = self.params.stash_limit.unwrap_or(u32::MAX);
+                if self.stash_chunks[d] >= limit {
+                    return;
+                }
+            }
+            if op.backward {
+                self.stash_chunks[d] = self.stash_chunks[d].saturating_sub(1);
+            } else {
+                self.stash_chunks[d] += 1;
+            }
+            self.ready[d].pop();
+            let cost = if op.backward { self.params.b_cost } else { self.params.f_cost };
+            self.busy[d] = true;
+            self.order[d].push(op);
+            self.push_event(
+                now + cost.max(1),
+                EventKind::DeviceDone { device: d as u32, mb, pos },
+            );
+        }
+    }
+}
+
+/// Generate a per-device compute order for an arbitrary [`StageMap`] by
+/// deterministic greedy list scheduling.
+pub fn list_schedule(
+    cfg: &PipelineConfig,
+    map: StageMap,
+    params: ListParams,
+) -> Result<ComputeSchedule, ScheduleError> {
+    let s = map.stages;
+    let b = cfg.micro_batches;
+    let p = map.devices as usize;
+    let total_ops = (2 * s * b) as usize;
+    let groups = map.groups.len();
+
+    let mut pending: Vec<VecDeque<u32>> = vec![VecDeque::new(); groups];
+    for m in 0..b {
+        pending[map.group_of(MicroBatch(m))].push_back(m);
+    }
+
+    let mut eng = Engine {
+        map: &map,
+        stages: s,
+        params,
+        ready: (0..p).map(|_| BinaryHeap::new()).collect(),
+        busy: vec![false; p],
+        order: (0..p).map(|_| Vec::new()).collect(),
+        in_flight: vec![0; groups],
+        pending,
+        stash_chunks: vec![0; p],
+        events: BinaryHeap::new(),
+        seq: 0,
+        done: 0,
+    };
+
+    for g in 0..groups {
+        eng.admit(g, 0);
+    }
+
+    // Main loop: drain every event at the current timestamp before
+    // dispatching, so dispatch decisions see the complete ready set.
+    while let Some(Reverse(first)) = eng.events.pop() {
+        let now = first.time;
+        let mut touched = vec![eng.handle(first)];
+        while let Some(Reverse(peek)) = eng.events.peek() {
+            if peek.time != now {
+                break;
+            }
+            let Reverse(ev) = eng.events.pop().unwrap();
+            touched.push(eng.handle(ev));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for d in touched {
+            eng.dispatch(d, now);
+        }
+    }
+
+    if eng.done != total_ops {
+        return Err(ScheduleError::Deadlock { scheduled: eng.done, expected: total_ops });
+    }
+    let order = eng.order;
+    Ok(ComputeSchedule { config: *cfg, stage_map: map, per_device: order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn hanayo_cfg(p: u32, b: u32, w: u32) -> (PipelineConfig, StageMap) {
+        let cfg = PipelineConfig::new(p, b, Scheme::Hanayo { waves: w }).unwrap();
+        let map = StageMap::for_config(&cfg);
+        (cfg, map)
+    }
+
+    #[test]
+    fn schedules_all_ops_exactly_once() {
+        let (cfg, map) = hanayo_cfg(4, 8, 2);
+        let cs =
+            list_schedule(&cfg, map, ListParams { cap: Some(4), ..Default::default() }).unwrap();
+        assert_eq!(cs.total_ops(), cs.expected_ops());
+        let mut seen = std::collections::HashSet::new();
+        for ops in &cs.per_device {
+            for op in ops {
+                assert!(seen.insert(*op), "duplicate {op}");
+            }
+        }
+        assert_eq!(seen.len(), cs.expected_ops());
+    }
+
+    #[test]
+    fn ops_run_on_their_mapped_device() {
+        let (cfg, map) = hanayo_cfg(4, 4, 1);
+        let cs = list_schedule(&cfg, map.clone(), ListParams::default()).unwrap();
+        for (d, ops) in cs.per_device.iter().enumerate() {
+            for op in ops {
+                assert_eq!(map.device_of(op.mb, op.stage).idx(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn per_device_order_respects_chain_deps_locally() {
+        // If two ops of the same micro-batch land on the same device, the
+        // earlier chain position must be listed first.
+        let (cfg, map) = hanayo_cfg(4, 4, 2);
+        let s = map.stages;
+        let cs = list_schedule(&cfg, map, ListParams::default()).unwrap();
+        for ops in &cs.per_device {
+            for m in 0..cfg.micro_batches {
+                let positions: Vec<u32> =
+                    ops.iter().filter(|o| o.mb.0 == m).map(|o| o.pos(s)).collect();
+                let mut sorted = positions.clone();
+                sorted.sort_unstable();
+                assert_eq!(positions, sorted, "mb{m} out of chain order");
+            }
+        }
+    }
+
+    #[test]
+    fn admission_cap_bounds_in_flight() {
+        let (cfg, map) = hanayo_cfg(2, 8, 1);
+        let s = map.stages;
+        let cs =
+            list_schedule(&cfg, map, ListParams { cap: Some(2), ..Default::default() }).unwrap();
+        // mb k's first forward cannot be listed on the entry device before
+        // mb k-2's final backward completes there (cap = 2).
+        let dev0 = &cs.per_device[0];
+        let first_fwd = |m: u32| dev0.iter().position(|o| o.mb.0 == m && o.pos(s) == 0).unwrap();
+        let last_bwd =
+            |m: u32| dev0.iter().position(|o| o.mb.0 == m && o.pos(s) == 2 * s - 1).unwrap();
+        for m in 2..8 {
+            assert!(
+                first_fwd(m) > last_bwd(m - 2),
+                "mb{m} admitted before mb{} retired",
+                m - 2
+            );
+        }
+    }
+
+    #[test]
+    fn forward_complete_retirement_sustains_steady_state() {
+        // At B = 4P, re-admitting on forward completion (instead of full
+        // retirement) must cut the replayed bubble ratio without raising
+        // the activation peak above the 1F1B budget of P units.
+        use crate::gantt::replay_timeline;
+        use crate::memory::unit_profile;
+        let p = 8;
+        let run = |retire: RetireRule| {
+            let (cfg, map) = hanayo_cfg(p, 4 * p, 2);
+            let cs = list_schedule(
+                &cfg,
+                map,
+                ListParams { cap: Some(p), retire, ..Default::default() },
+            )
+            .unwrap();
+            let bubble = replay_timeline(&cs, 1, 2, 0).bubble_ratio();
+            let peak = unit_profile(&cs)
+                .ma_peak_units
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            (bubble, peak)
+        };
+        let (bub_full, _) = run(RetireRule::FullChain);
+        let (bub_fwd, peak_fwd) = run(RetireRule::ForwardComplete);
+        assert!(bub_fwd < bub_full, "fwd {bub_fwd} vs full {bub_full}");
+        assert!(peak_fwd <= p as f64 + 1e-9, "activation peak {peak_fwd}");
+    }
+
+    #[test]
+    fn unbounded_cap_floods_like_gpipe() {
+        let (cfg, map) = hanayo_cfg(2, 4, 1);
+        let cs = list_schedule(&cfg, map, ListParams::default()).unwrap();
+        assert_eq!(cs.total_ops(), cs.expected_ops());
+    }
+
+    #[test]
+    fn turnaround_device_backs_up_immediately() {
+        // The deepest-first rule means the device holding the last stage
+        // (device 0 in a wave pipeline) turns mb0 around with no forward in
+        // between: B(mb0, S-1) directly follows F(mb0, S-1).
+        let (cfg, map) = hanayo_cfg(2, 4, 1);
+        let s = map.stages;
+        let cs = list_schedule(&cfg, map, ListParams { cap: Some(2), ..Default::default() })
+            .unwrap();
+        let d0 = &cs.per_device[0];
+        let last_fwd =
+            d0.iter().position(|o| o.mb.0 == 0 && o.stage.0 == s - 1 && !o.backward).unwrap();
+        assert_eq!(
+            d0[last_fwd + 1],
+            ComputeOp::bwd(0, s - 1),
+            "turnaround delayed: {d0:?}"
+        );
+    }
+}

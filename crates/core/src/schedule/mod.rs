@@ -1,0 +1,139 @@
+//! Schedule generators: one module per pipeline-parallel algorithm.
+//!
+//! The entry point is [`build_schedule`], which dispatches on
+//! [`Scheme`](crate::config::Scheme), generates the per-device compute order,
+//! lowers communication ([`crate::comm`]), and appends the optimizer step.
+//! All generators are deterministic.
+
+pub mod async_pipedream;
+pub mod chimera;
+pub mod custom;
+pub mod dapple;
+pub mod gpipe;
+pub mod hanayo;
+pub mod interleaved;
+pub mod listsched;
+
+use crate::action::Schedule;
+use crate::chain::ComputeSchedule;
+use crate::comm;
+use crate::config::{ConfigError, PipelineConfig, Scheme};
+use std::fmt;
+
+/// Errors from schedule generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The configuration itself is invalid.
+    Config(ConfigError),
+    /// The generator could not make progress (a bug guard: indicates a
+    /// cyclic placement; never expected for the shipped schemes).
+    Deadlock {
+        /// Ops scheduled before the generator stalled.
+        scheduled: usize,
+        /// Ops that should have been scheduled.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Config(e) => write!(f, "invalid configuration: {e}"),
+            ScheduleError::Deadlock { scheduled, expected } => write!(
+                f,
+                "scheduler deadlock: placed {scheduled} of {expected} compute ops"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<ConfigError> for ScheduleError {
+    fn from(e: ConfigError) -> Self {
+        ScheduleError::Config(e)
+    }
+}
+
+/// Generate the compute-only schedule (per-device op order) for a
+/// configuration. Most callers want [`build_schedule`] instead.
+pub fn build_compute_schedule(cfg: &PipelineConfig) -> Result<ComputeSchedule, ScheduleError> {
+    cfg.validate()?;
+    match cfg.scheme {
+        Scheme::GPipe => Ok(gpipe::generate(cfg)),
+        Scheme::Dapple => Ok(dapple::generate(cfg)),
+        Scheme::Interleaved { .. } => interleaved::generate(cfg),
+        Scheme::Chimera => chimera::generate(cfg),
+        Scheme::Hanayo { .. } => hanayo::generate(cfg),
+        Scheme::AsyncPipeDream => Ok(async_pipedream::generate(cfg)),
+    }
+}
+
+/// Generate a complete, executable [`Schedule`] (compute order + lowered
+/// communication + optimizer step) for a configuration.
+///
+/// ```
+/// use hanayo_core::config::{PipelineConfig, Scheme};
+/// use hanayo_core::schedule::build_schedule;
+///
+/// let cfg = PipelineConfig::new(4, 4, Scheme::Hanayo { waves: 2 }).unwrap();
+/// let schedule = build_schedule(&cfg).unwrap();
+/// assert_eq!(schedule.lists.len(), 4);
+/// // 2 compute ops (fwd+bwd) per micro-batch per stage: 2*4*16
+/// assert_eq!(schedule.total_compute(), 128);
+/// ```
+pub fn build_schedule(cfg: &PipelineConfig) -> Result<Schedule, ScheduleError> {
+    let compute = build_compute_schedule(cfg)?;
+    Ok(comm::lower(&compute))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_schemes(p: u32) -> Vec<Scheme> {
+        vec![
+            Scheme::GPipe,
+            Scheme::Dapple,
+            Scheme::Interleaved { chunks: 2 },
+            Scheme::Chimera,
+            Scheme::Hanayo { waves: 1 },
+            Scheme::Hanayo { waves: 2 },
+            Scheme::AsyncPipeDream,
+        ]
+        .into_iter()
+        .filter(move |s| !matches!(s, Scheme::Chimera) || p.is_multiple_of(2))
+        .collect()
+    }
+
+    #[test]
+    fn every_scheme_generates_complete_schedules() {
+        for p in [2u32, 4, 8] {
+            for b in [p, 2 * p] {
+                for scheme in all_schemes(p) {
+                    let cfg = PipelineConfig::new(p, b, scheme).unwrap();
+                    let cs = build_compute_schedule(&cfg)
+                        .unwrap_or_else(|e| panic!("{scheme} P={p} B={b}: {e}"));
+                    assert_eq!(
+                        cs.total_ops(),
+                        cs.expected_ops(),
+                        "{scheme} P={p} B={b} op count"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_schedule_appends_optimizer_step() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
+        let s = build_schedule(&cfg).unwrap();
+        for list in &s.lists {
+            assert_eq!(
+                list.actions.last(),
+                Some(&crate::action::Action::OptimizerStep),
+                "every worker flushes"
+            );
+        }
+    }
+}

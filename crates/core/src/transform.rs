@@ -1,0 +1,154 @@
+//! The Fig. 5 transformation: a `P`-device Chimera pipeline becomes two
+//! data-parallel 1-wave pipelines on `P/2` devices each — *"without extra
+//! overhead"*.
+//!
+//! Swapping every `Pipe_bright` block on the lower half of the devices with
+//! the symmetric `Pipe_dark` block on the upper half folds each direction
+//! into a "V". The computation order is unchanged, the swap makes the fold
+//! communication device-local, and — crucially — each half now trains **one**
+//! weight copy, so Chimera's replication degenerates into ordinary data
+//! parallelism. This module materialises both sides of that equivalence so
+//! it can be tested and rendered (`repro fig5`).
+
+use crate::chain::ComputeSchedule;
+use crate::config::{PipelineConfig, Scheme};
+use crate::gantt::replay_timeline;
+use crate::memory::unit_profile;
+use crate::schedule::{build_compute_schedule, ScheduleError};
+use serde::{Deserialize, Serialize};
+
+/// Both sides of the Fig. 5 equivalence.
+#[derive(Debug, Clone)]
+pub struct WaveTransformation {
+    /// The original bidirectional Chimera on `P` devices.
+    pub chimera: ComputeSchedule,
+    /// The two 1-wave pipelines on `P/2` devices each (data parallel rank 0
+    /// and 1). They are structurally identical; both are kept to make the
+    /// data-parallel reading explicit.
+    pub wave_pipelines: [ComputeSchedule; 2],
+}
+
+/// Summary statistics comparing the two forms under the paper's drawing
+/// costs (`T_F = 1`, `T_B = 2`, `T_C = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransformationReport {
+    /// Replayed makespan of the Chimera form.
+    pub chimera_makespan: u64,
+    /// Replayed makespan of the wave form (max over the two pipelines,
+    /// which run concurrently on disjoint devices).
+    pub wave_makespan: u64,
+    /// Max weight units per device before (always 2 — the replica).
+    pub chimera_mw: f64,
+    /// Max weight units per device after (always 1).
+    pub wave_mw: f64,
+    /// Cross-device messages in the Chimera form.
+    pub chimera_messages: usize,
+    /// Cross-device messages per wave pipeline.
+    pub wave_messages: usize,
+}
+
+/// Construct the transformation for a `P`-device, `B`-micro-batch Chimera.
+///
+/// Requires `P % 2 == 0` (Chimera's own constraint) and `B % 2 == 0`
+/// (half the micro-batches per direction).
+pub fn chimera_to_waves(p: u32, b: u32) -> Result<WaveTransformation, ScheduleError> {
+    let chimera_cfg = PipelineConfig::new(p, b, Scheme::Chimera)?;
+    let chimera = build_compute_schedule(&chimera_cfg)?;
+    let wave_cfg = PipelineConfig::new(p / 2, b / 2, Scheme::Hanayo { waves: 1 })?;
+    let wave = build_compute_schedule(&wave_cfg)?;
+    Ok(WaveTransformation { chimera, wave_pipelines: [wave.clone(), wave] })
+}
+
+fn message_count(cs: &ComputeSchedule) -> usize {
+    use crate::action::CommDir;
+    let schedule = crate::comm::lower(cs);
+    schedule
+        .iter_actions()
+        .map(|(_, a)| a.comm_ops().iter().filter(|o| o.dir == CommDir::Send).count())
+        .sum()
+}
+
+impl WaveTransformation {
+    /// Evaluate both forms and summarise the paper's claims.
+    pub fn report(&self) -> TransformationReport {
+        let ch_tl = replay_timeline(&self.chimera, 1, 2, 0);
+        let wv_tl = replay_timeline(&self.wave_pipelines[0], 1, 2, 0);
+        let ch_mem = unit_profile(&self.chimera);
+        let wv_mem = unit_profile(&self.wave_pipelines[0]);
+        TransformationReport {
+            chimera_makespan: ch_tl.makespan,
+            wave_makespan: wv_tl.makespan,
+            chimera_mw: ch_mem.mw_units.iter().cloned().fold(0.0, f64::max),
+            wave_mw: wv_mem.mw_units.iter().cloned().fold(0.0, f64::max),
+            chimera_messages: message_count(&self.chimera),
+            wave_messages: message_count(&self.wave_pipelines[0]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformation_preserves_total_compute() {
+        let t = chimera_to_waves(4, 4).unwrap();
+        // Chimera: B=4 micro-batches through S=4 stages, fwd+bwd = 32 ops.
+        // Each wave pipeline: B=2 through S=4, fwd+bwd = 16 ops; 2 pipes.
+        let chimera_ops = t.chimera.total_ops();
+        let wave_ops: usize = t.wave_pipelines.iter().map(|w| w.total_ops()).sum();
+        assert_eq!(chimera_ops, wave_ops);
+    }
+
+    #[test]
+    fn wave_form_is_at_least_as_fast() {
+        // "the efficiency of these two wave-like pipelines is at least as
+        // good as, if not better than, the original" (§3.2).
+        for (p, b) in [(4, 4), (4, 8), (8, 8)] {
+            let t = chimera_to_waves(p, b).unwrap();
+            let r = t.report();
+            assert!(
+                r.wave_makespan <= r.chimera_makespan,
+                "P={p} B={b}: wave {} vs chimera {}",
+                r.wave_makespan,
+                r.chimera_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn wave_form_halves_weight_memory() {
+        let r = chimera_to_waves(4, 4).unwrap().report();
+        assert_eq!(r.chimera_mw, 2.0);
+        assert_eq!(r.wave_mw, 1.0);
+    }
+
+    #[test]
+    fn wave_form_reduces_communication() {
+        // The swap makes fold communication local: per-pipeline messages
+        // must be fewer than half of Chimera's (it also loses the
+        // cross-direction edges).
+        let r = chimera_to_waves(8, 8).unwrap().report();
+        assert!(
+            r.wave_messages * 2 <= r.chimera_messages,
+            "wave 2x{} vs chimera {}",
+            r.wave_messages,
+            r.chimera_messages
+        );
+    }
+
+    #[test]
+    fn stage_chunks_have_equal_size() {
+        // model/P chunks on both sides: Chimera S=P on P devices; wave
+        // S=2(P/2)=P stages on P/2 devices.
+        let t = chimera_to_waves(8, 8).unwrap();
+        assert_eq!(t.chimera.stage_map.stages, 8);
+        assert_eq!(t.wave_pipelines[0].stage_map.stages, 8);
+    }
+
+    #[test]
+    fn rejects_odd_shapes() {
+        assert!(chimera_to_waves(3, 4).is_err());
+        assert!(chimera_to_waves(4, 3).is_err());
+    }
+}

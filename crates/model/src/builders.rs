@@ -1,0 +1,104 @@
+//! Real micro-model builders for the threaded runtime: the same
+//! layer-partitioning logic as the cost model, applied to actual
+//! `hanayo_tensor::Stage` modules small enough to train on a CPU.
+
+use crate::partition::split_layers;
+use hanayo_tensor::rng::seeded;
+use hanayo_tensor::Stage;
+use rand::rngs::StdRng;
+
+/// A CPU-trainable stand-in for a transformer: `total_blocks` MLP blocks
+/// (`LayerNorm → Linear → Gelu`) of width `width`.
+#[derive(Debug, Clone)]
+pub struct MicroModel {
+    /// Feature width (plays the role of the hidden size).
+    pub width: usize,
+    /// Total MLP blocks (plays the role of the layer count).
+    pub total_blocks: usize,
+    /// RNG seed used for initialisation.
+    pub seed: u64,
+}
+
+impl MicroModel {
+    /// A small default: 8 blocks of width 16.
+    pub fn small(seed: u64) -> MicroModel {
+        MicroModel { width: 16, total_blocks: 8, seed }
+    }
+
+    /// Deterministic RNG for this model's weights.
+    fn rng(&self) -> StdRng {
+        seeded(self.seed)
+    }
+
+    /// Build the full model as one sequential stage (the reference for
+    /// equivalence tests).
+    pub fn build_monolith(&self) -> Stage {
+        Stage::mlp(&mut self.rng(), self.width, self.total_blocks)
+    }
+
+    /// Build the model partitioned into `stages` pipeline stages with the
+    /// same weights as [`MicroModel::build_monolith`] (identical RNG
+    /// stream, split at block boundaries).
+    ///
+    /// Panics if `stages > total_blocks`: real modules cannot take
+    /// fractional blocks (unlike the analytic cost model).
+    pub fn build_stages(&self, stages: u32) -> Vec<Stage> {
+        assert!(
+            stages as usize <= self.total_blocks,
+            "cannot split {} blocks into {} stages",
+            self.total_blocks,
+            stages
+        );
+        let split = split_layers(self.total_blocks as u32, stages);
+        let mut rng = self.rng();
+        split
+            .iter()
+            .map(|&blocks| Stage::mlp(&mut rng, self.width, blocks as usize))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanayo_tensor::rng::uniform;
+
+    #[test]
+    fn partitioned_model_equals_monolith() {
+        // Same seed → same weights → forward through the stage chain must
+        // reproduce the monolith bit for bit.
+        let m = MicroModel::small(11);
+        let mono = m.build_monolith();
+        let stages = m.build_stages(4);
+        let x = uniform(&mut seeded(1), 3, m.width, 0.5);
+        let (y_mono, _) = mono.forward(&x);
+        let mut cur = x;
+        for s in &stages {
+            let (y, _) = s.forward(&cur);
+            cur = y;
+        }
+        assert_eq!(cur, y_mono);
+    }
+
+    #[test]
+    fn stage_block_counts_follow_split() {
+        let m = MicroModel { width: 8, total_blocks: 10, seed: 0 };
+        let stages = m.build_stages(4);
+        let blocks: Vec<usize> = stages.iter().map(|s| s.blocks.len() / 3).collect();
+        assert_eq!(blocks, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn rejects_more_stages_than_blocks() {
+        MicroModel::small(0).build_stages(9);
+    }
+
+    #[test]
+    fn param_totals_are_preserved() {
+        let m = MicroModel::small(5);
+        let mono = m.build_monolith();
+        let total: usize = m.build_stages(8).iter().map(Stage::param_count).sum();
+        assert_eq!(total, mono.param_count());
+    }
+}

@@ -1,0 +1,29 @@
+//! # hanayo-model
+//!
+//! Transformer workload models for the two architectures of the paper's
+//! evaluation (§5): a BERT-style model (64 layers, hidden 2560, 64 heads)
+//! and a GPT-style model (128 layers, hidden 1024, 16 heads).
+//!
+//! Two things live here:
+//!
+//! 1. **Analytic cost/memory models** ([`config`], [`costs`], [`memory`],
+//!    [`partition`]) — per-layer FLOPs, activation-stash bytes, parameter
+//!    bytes and message sizes, aggregated per pipeline stage into the
+//!    [`partition::CostTable`] the discrete-event simulator consumes.
+//!    Constants follow the standard accounting (Narayanan et al. 2021,
+//!    Korthikanti et al. 2022): `24·b·s·h² + 4·b·s²·h` forward FLOPs per
+//!    layer, backward = 2× forward, activation stash `s·b·h·(34 + 5as/h)`
+//!    bytes in fp16, and 16 bytes per parameter for mixed-precision Adam
+//!    (fp16 weight+grad, fp32 master+two moments).
+//! 2. **Real micro-models** ([`builders`]) — small `hanayo_tensor::Stage`
+//!    stacks with the same layer-partitioning logic, used by the threaded
+//!    runtime to verify schedule *correctness* numerically.
+
+pub mod builders;
+pub mod config;
+pub mod costs;
+pub mod memory;
+pub mod partition;
+
+pub use config::ModelConfig;
+pub use partition::{CostTable, Recompute};

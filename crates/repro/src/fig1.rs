@@ -1,0 +1,64 @@
+//! Figure 1: theoretical bubble ratio of synchronous pipeline schemes at
+//! 8 and 32 devices (`B = P`, `T_B = 2 T_F`, `T_C = 0`).
+
+use crate::common::render_table;
+use hanayo_core::analysis::bubble::figure1_rows;
+
+/// Series per device count: `(scheme label, bubble ratio)`.
+pub fn data() -> Vec<(u32, Vec<(&'static str, f64)>)> {
+    [8u32, 32].iter().map(|&p| (p, figure1_rows(p))).collect()
+}
+
+/// Render the figure as a table.
+pub fn run() -> String {
+    let data = data();
+    let headers: Vec<&str> = std::iter::once("scheme")
+        .chain(data.iter().map(|(p, _)| if *p == 8 { "devices=8" } else { "devices=32" }))
+        .collect();
+    let schemes: Vec<&str> = data[0].1.iter().map(|(n, _)| *n).collect();
+    let rows: Vec<Vec<String>> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut row = vec![name.to_string()];
+            for (_, series) in &data {
+                row.push(format!("{:.1}%", 100.0 * series[i].1));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Figure 1: theoretical bubble ratio of synchronous pipeline schemes\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_both_device_counts_and_six_schemes() {
+        let d = data();
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|(_, s)| s.len() == 6));
+    }
+
+    #[test]
+    fn hanayo_bars_drop_sharply() {
+        // "a sharp drop in Hanayo's bubble ratio with an increased number
+        // of waves" (§3.4).
+        for (_, series) in data() {
+            let chimera = series[3].1;
+            let h4 = series[5].1;
+            assert!(h4 < 0.6 * chimera, "H-4 {h4} vs Chimera {chimera}");
+        }
+    }
+
+    #[test]
+    fn renders_with_percentages() {
+        let text = run();
+        assert!(text.contains("Hanayo (wave=4)"));
+        assert!(text.contains('%'));
+    }
+}

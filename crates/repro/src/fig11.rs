@@ -1,0 +1,166 @@
+//! Figure 11: weak scaling of the BERT-style model on Lonestar6 — devices
+//! 8 → 16 → 32 with the batch growing proportionally.
+//!
+//! Following the paper's §5.3 configuration choice (the search of Fig. 10
+//! settles on P = 8 pipelines), scale comes from data parallelism: at
+//! `n` devices we run `D = n/8` replicas of a P = 8 pipeline with `B = 8`
+//! micro-batches of 2 sequences each, so per-device work stays constant
+//! while the global batch grows 1→2→4×.
+
+use crate::common::{eval_methods, fmt_outcome, render_table, WAVE_SEARCH};
+use hanayo_cluster::topology::lonestar6;
+use hanayo_model::ModelConfig;
+use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
+
+/// One bar: device count × method.
+pub struct Bar {
+    /// Devices.
+    pub devices: u32,
+    /// Method label.
+    pub method: String,
+    /// Sequences/s, `None` on OOM.
+    pub throughput: Option<f64>,
+}
+
+fn eval(devices: u32, method: Method) -> Option<f64> {
+    let cluster = lonestar6(devices as usize);
+    let plan = ParallelPlan {
+        method,
+        dp: devices / 8,
+        pp: 8,
+        micro_batches: 8,
+        micro_batch_size: 2,
+    };
+    let r =
+        evaluate_plan(&plan, &ModelConfig::bert64(), &cluster, SimOptions::default()).ok()?;
+    if r.is_oom() {
+        None
+    } else {
+        Some(r.throughput)
+    }
+}
+
+/// All bars, with Hanayo at its per-scale best wave count.
+pub fn data() -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for devices in [8u32, 16, 32] {
+        for method in eval_methods() {
+            match method {
+                Method::Hanayo { .. } => {
+                    let best = WAVE_SEARCH
+                        .iter()
+                        .filter_map(|&w| {
+                            eval(devices, Method::Hanayo { waves: w }).map(|t| (w, t))
+                        })
+                        .max_by(|a, b| a.1.total_cmp(&b.1));
+                    bars.push(Bar {
+                        devices,
+                        method: best
+                            .map(|(w, _)| format!("Hanayo (H-{w})"))
+                            .unwrap_or_else(|| "Hanayo".into()),
+                        throughput: best.map(|(_, t)| t),
+                    });
+                }
+                m => bars.push(Bar {
+                    devices,
+                    method: m.to_string(),
+                    throughput: eval(devices, m),
+                }),
+            }
+        }
+    }
+    bars
+}
+
+/// Parallel efficiency of Hanayo: `thr(P) / (thr(8) · P/8)`.
+pub fn hanayo_efficiency(bars: &[Bar]) -> Vec<(u32, f64)> {
+    let of = |p: u32| {
+        bars.iter()
+            .find(|b| b.devices == p && b.method.starts_with("Hanayo"))
+            .and_then(|b| b.throughput)
+            .expect("hanayo runs")
+    };
+    let base = of(8);
+    [16u32, 32]
+        .iter()
+        .map(|&p| (p, of(p) / (base * p as f64 / 8.0)))
+        .collect()
+}
+
+/// Render the figure.
+pub fn run() -> String {
+    let bars = data();
+    let mut out =
+        String::from("Figure 11: weak scaling, BERT-style model on Lonestar6 (P = 8 pipelines, D = devices/8, B = 8)\n\n");
+    let rows: Vec<Vec<String>> = [8u32, 16, 32]
+        .iter()
+        .map(|&p| {
+            let mut row = vec![format!("devices={p}")];
+            for fam in ["GPipe", "DAPPLE", "Chimera", "Hanayo"] {
+                let bar = bars
+                    .iter()
+                    .find(|b| b.devices == p && b.method.starts_with(fam))
+                    .expect("bar present");
+                row.push(fmt_outcome(bar.throughput));
+            }
+            row
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["scale", "GPipe", "DAPPLE", "Chimera-wave", "Hanayo"],
+        &rows,
+    ));
+    out.push_str("\nHanayo parallel efficiency vs 8 devices:\n");
+    for (p, eff) in hanayo_efficiency(&bars) {
+        out.push_str(&format!("  {p} devices: {:.1}%\n", 100.0 * eff));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hanayo_wins_at_every_scale() {
+        let bars = data();
+        for p in [8u32, 16, 32] {
+            let of = |fam: &str| {
+                bars.iter()
+                    .find(|b| b.devices == p && b.method.starts_with(fam))
+                    .and_then(|b| b.throughput)
+            };
+            let h = of("Hanayo").expect("hanayo runs");
+            for fam in ["GPipe", "DAPPLE", "Chimera"] {
+                if let Some(t) = of(fam) {
+                    assert!(h > t, "P={p}: Hanayo {h} vs {fam} {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hanayo_beats_chimera_by_single_digit_to_teens() {
+        // Paper: 8.19%, 8.11%, 8.13%. Require the same ballpark (3%-45%).
+        let bars = data();
+        for p in [8u32, 16, 32] {
+            let of = |fam: &str| {
+                bars.iter()
+                    .find(|b| b.devices == p && b.method.starts_with(fam))
+                    .and_then(|b| b.throughput)
+                    .unwrap()
+            };
+            let pct = 100.0 * (of("Hanayo") / of("Chimera") - 1.0);
+            assert!((3.0..45.0).contains(&pct), "P={p}: {pct}%");
+        }
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_stays_high() {
+        // Paper: 100.1% and 99.8%. Ours must stay above 85%.
+        let bars = data();
+        for (p, eff) in hanayo_efficiency(&bars) {
+            assert!(eff > 0.85, "P={p}: efficiency {eff}");
+        }
+    }
+}

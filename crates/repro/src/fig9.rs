@@ -1,0 +1,197 @@
+//! Figure 9: adaptability across the four clusters — throughput of G, D,
+//! C, H-2, H-4, H-8 on PC, FC, TACC, TC with 8 GPUs each, under
+//! (D=1, P=8) and (D=2, P=4).
+//!
+//! Workload preset: `B = P` micro-batches per pipeline of 1 sequence each,
+//! ZeRO-1-style optimizer accounting (8 bytes/param). The lighter
+//! accounting is required for fidelity, not convenience: Chimera-wave at
+//! (D=2, P=4) consolidates **half** the 5B-parameter BERT onto each
+//! device, which no full-Adam accounting fits into the paper's 32 GB
+//! V100s — yet the paper ran exactly that configuration on the Tencent
+//! cluster.
+
+use crate::common::{fig9_methods, fmt_outcome, render_table};
+use hanayo_cluster::topology::paper_clusters;
+use hanayo_cluster::ClusterSpec;
+use hanayo_model::ModelConfig;
+use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
+
+/// One cell: cluster × (D,P) × method → throughput (None = OOM).
+pub struct Cell {
+    /// Cluster name.
+    pub cluster: String,
+    /// Data-parallel width.
+    pub dp: u32,
+    /// Pipeline width.
+    pub pp: u32,
+    /// Method.
+    pub method: Method,
+    /// Sequences/s, `None` on OOM.
+    pub throughput: Option<f64>,
+}
+
+fn eval(cluster: &ClusterSpec, dp: u32, pp: u32, method: Method) -> Option<f64> {
+    let plan =
+        ParallelPlan { method, dp, pp, micro_batches: pp, micro_batch_size: 1 };
+    let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+    let r = evaluate_plan(&plan, &model, cluster, SimOptions::default()).ok()?;
+    if r.is_oom() {
+        None
+    } else {
+        Some(r.throughput)
+    }
+}
+
+/// All cells of the figure.
+pub fn data() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (dp, pp) in [(1u32, 8u32), (2, 4)] {
+        for cluster in paper_clusters(8) {
+            for method in fig9_methods() {
+                cells.push(Cell {
+                    cluster: cluster.name.clone(),
+                    dp,
+                    pp,
+                    method,
+                    throughput: eval(&cluster, dp, pp, method),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Best Hanayo vs Chimera-wave improvement per (cluster, D, P) setting —
+/// the numbers the paper reports as "15.7%, 30.4%, ..." in §5.2.
+pub fn hanayo_over_chimera() -> Vec<(String, f64)> {
+    let cells = data();
+    let mut out = Vec::new();
+    for (dp, pp) in [(1u32, 8u32), (2, 4)] {
+        for name in ["PC", "FC", "TACC", "TC"] {
+            let of = |m: Method| {
+                cells
+                    .iter()
+                    .find(|c| c.cluster == name && c.dp == dp && c.pp == pp && c.method == m)
+                    .and_then(|c| c.throughput)
+            };
+            let chimera = of(Method::ChimeraWave).expect("chimera runs");
+            let best_h = [2u32, 4, 8]
+                .iter()
+                .filter_map(|&w| of(Method::Hanayo { waves: w }))
+                .fold(0.0f64, f64::max);
+            out.push((
+                format!("{name}(D={dp},P={pp})"),
+                100.0 * (best_h / chimera - 1.0),
+            ));
+        }
+    }
+    out
+}
+
+/// Render the figure.
+pub fn run() -> String {
+    let cells = data();
+    let methods = fig9_methods();
+    let mut out = String::from(
+        "Figure 9: throughput (sequences/s) of the BERT-style model on the four clusters\n\n",
+    );
+    for (dp, pp) in [(1u32, 8u32), (2, 4)] {
+        out.push_str(&format!("setting D={dp}, P={pp}:\n"));
+        let headers: Vec<String> = std::iter::once("cluster".to_string())
+            .chain(methods.iter().map(|m| m.label()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = ["PC", "FC", "TACC", "TC"]
+            .iter()
+            .map(|name| {
+                let mut row = vec![name.to_string()];
+                for m in &methods {
+                    let cell = cells
+                        .iter()
+                        .find(|c| {
+                            c.cluster == *name && c.dp == dp && c.pp == pp && c.method == *m
+                        })
+                        .expect("cell");
+                    row.push(fmt_outcome(cell.throughput));
+                }
+                row
+            })
+            .collect();
+        out.push_str(&render_table(&header_refs, &rows));
+        out.push('\n');
+    }
+    out.push_str("best-Hanayo improvement over Chimera-wave per setting:\n");
+    for (setting, pct) in hanayo_over_chimera() {
+        out.push_str(&format!("  {setting}: +{pct:.1}%\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hanayo_beats_chimera_everywhere() {
+        // The paper's headline: 8.2%–30.4% over Chimera in all eight
+        // settings.
+        for (setting, pct) in hanayo_over_chimera() {
+            assert!(pct > 0.0, "{setting}: {pct}");
+        }
+    }
+
+    #[test]
+    fn improvements_land_in_the_papers_band() {
+        // Paper: between +8.2% and +30.4%; allow a wider tolerance band for
+        // the simulated substrate while requiring the same order of
+        // magnitude.
+        for (setting, pct) in hanayo_over_chimera() {
+            assert!((3.0..60.0).contains(&pct), "{setting}: {pct}");
+        }
+    }
+
+    #[test]
+    fn gpipe_and_dapple_track_each_other() {
+        // §5.2: "GPipe and DAPPLE maintain similar throughput".
+        let cells = data();
+        for name in ["PC", "FC", "TACC", "TC"] {
+            let of = |m: Method| {
+                cells
+                    .iter()
+                    .find(|c| c.cluster == name && c.dp == 1 && c.method == m)
+                    .and_then(|c| c.throughput)
+                    .unwrap()
+            };
+            let g = of(Method::GPipe);
+            let d = of(Method::Dapple);
+            assert!((g - d).abs() / d < 0.05, "{name}: G {g} vs D {d}");
+        }
+    }
+
+    #[test]
+    fn tacc_prefers_fewer_waves_than_fc() {
+        // §5.2: "for clusters with poor interconnection, such as TACC, the
+        // optimal wave number will be lower".
+        let cells = data();
+        let best_wave = |name: &str| {
+            [2u32, 4, 8]
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let of = |w| {
+                        cells
+                            .iter()
+                            .find(|c| {
+                                c.cluster == name
+                                    && c.dp == 1
+                                    && c.method == Method::Hanayo { waves: w }
+                            })
+                            .and_then(|c| c.throughput)
+                            .unwrap_or(0.0)
+                    };
+                    of(a).total_cmp(&of(b))
+                })
+                .unwrap()
+        };
+        assert!(best_wave("TACC") <= best_wave("FC"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # hanayo-repro
+//!
+//! Regeneration harness for every table and figure in the paper's
+//! evaluation. Each `figN` module exposes
+//!
+//! * a `data()` function returning the structured rows/series, and
+//! * a `run()` function rendering them as the text table printed by the
+//!   `repro` binary (`cargo run -p hanayo-repro --bin repro -- figN`).
+//!
+//! Workload parameters (micro-batch counts and sizes) are fixed presets
+//! chosen to reproduce the paper's *shapes* — who wins, by what factor,
+//! which cells OOM — and are documented per experiment in `EXPERIMENTS.md`.
+
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// A figure's id plus the function that renders its table.
+pub type FigureRunner = (&'static str, fn() -> String);
+
+/// All figure ids in order, with their runner.
+pub fn all_figures() -> Vec<FigureRunner> {
+    vec![
+        ("fig1", fig1::run as fn() -> String),
+        ("fig2", fig2::run),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+    ]
+}

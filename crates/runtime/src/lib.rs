@@ -1,0 +1,32 @@
+//! # hanayo-runtime
+//!
+//! The real execution engine: the paper's §4 runtime, with OS threads as
+//! devices and channels as the interconnect.
+//!
+//! Every worker interprets the *same* frozen action lists that the
+//! discrete-event simulator times — but here the instructions move actual
+//! `hanayo_tensor` tensors through actual forward/backward math. This is
+//! the correctness half of the reproduction: for any synchronous schedule,
+//! one training iteration must produce gradients and updated weights that
+//! are **bit-identical** to sequential execution of the same model
+//! (per-micro-batch gradients are stored in slots and reduced in a fixed
+//! order at the flush, so floating-point non-associativity cannot leak
+//! schedule order into the result).
+//!
+//! Pieces:
+//!
+//! * [`mailbox`] — tag-matching P2P fabric over crossbeam channels
+//!   (asynchronous sends, blocking receives: NCCL's semantics).
+//! * [`worker`] — the action-list interpreter (§4.1) with per-micro-batch
+//!   gradient slots and activation-stash accounting.
+//! * [`trainer`] — spawns one thread per device, feeds micro-batches,
+//!   runs iterations, collects losses and peak-stash statistics.
+//! * [`collective`] — the data-parallel gradient exchange used when a plan
+//!   runs several pipeline replicas (and by the Chimera-wave form).
+
+pub mod collective;
+pub mod mailbox;
+pub mod trainer;
+pub mod worker;
+
+pub use trainer::{train, LossKind, TrainOutput, TrainerConfig};

@@ -1,0 +1,146 @@
+//! Tag-matching point-to-point fabric.
+//!
+//! Each device owns one unbounded receiving channel; every peer holds a
+//! cloned sender. Sends never block (buffered, like `isend` over NCCL with
+//! ample buffers); receives block until a message with the requested tag
+//! arrives. Because iterations reuse tags, the match key includes the
+//! iteration number.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use hanayo_core::action::MsgTag;
+use hanayo_tensor::Tensor;
+use std::collections::HashMap;
+
+/// One in-flight tensor message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Training iteration the message belongs to.
+    pub iter: u32,
+    /// Message identity within the iteration.
+    pub tag: MsgTag,
+    /// Payload.
+    pub tensor: Tensor,
+}
+
+/// The receiving half of a device's fabric endpoint, with tag matching.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    /// Early arrivals waiting for their recv to be issued.
+    parked: HashMap<(u32, MsgTag), Tensor>,
+}
+
+impl Mailbox {
+    /// Blocking receive of a specific `(iter, tag)` message.
+    pub fn recv(&mut self, iter: u32, tag: MsgTag) -> Tensor {
+        if let Some(t) = self.parked.remove(&(iter, tag)) {
+            return t;
+        }
+        loop {
+            let env = self
+                .rx
+                .recv()
+                .expect("fabric closed while a receive was pending");
+            if env.iter == iter && env.tag == tag {
+                return env.tensor;
+            }
+            self.parked.insert((env.iter, env.tag), env.tensor);
+        }
+    }
+
+    /// Number of parked (early) messages — useful in tests.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+}
+
+/// Sending endpoints to every device.
+#[derive(Clone)]
+pub struct Fabric {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl Fabric {
+    /// Non-blocking send to `device`.
+    pub fn send(&self, device: usize, env: Envelope) {
+        self.senders[device]
+            .send(env)
+            .expect("peer mailbox dropped while sending");
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the fabric has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+}
+
+/// Build a fabric of `n` endpoints: the shared sender table plus each
+/// device's private mailbox.
+pub fn fabric(n: usize) -> (Fabric, Vec<Mailbox>) {
+    let mut senders = Vec::with_capacity(n);
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        boxes.push(Mailbox { rx, parked: HashMap::new() });
+    }
+    (Fabric { senders }, boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanayo_core::action::Payload;
+    use hanayo_core::ids::{MicroBatch, StageId};
+
+    fn tag(mb: u32, stage: u32) -> MsgTag {
+        MsgTag { mb: MicroBatch(mb), stage: StageId(stage), payload: Payload::Activation }
+    }
+
+    fn t(v: f32) -> Tensor {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let (fab, mut boxes) = fabric(2);
+        fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(7.0) });
+        let got = boxes[1].recv(0, tag(0, 1));
+        assert_eq!(got.data, vec![7.0]);
+    }
+
+    #[test]
+    fn out_of_order_messages_park() {
+        let (fab, mut boxes) = fabric(2);
+        fab.send(1, Envelope { iter: 0, tag: tag(1, 1), tensor: t(2.0) });
+        fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(1.0) });
+        // Ask for mb0 first even though mb1 arrived first.
+        assert_eq!(boxes[1].recv(0, tag(0, 1)).data, vec![1.0]);
+        assert_eq!(boxes[1].parked_len(), 1);
+        assert_eq!(boxes[1].recv(0, tag(1, 1)).data, vec![2.0]);
+        assert_eq!(boxes[1].parked_len(), 0);
+    }
+
+    #[test]
+    fn iterations_do_not_collide() {
+        let (fab, mut boxes) = fabric(2);
+        // Same tag, two iterations, sent in reverse order.
+        fab.send(1, Envelope { iter: 1, tag: tag(0, 1), tensor: t(11.0) });
+        fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(10.0) });
+        assert_eq!(boxes[1].recv(0, tag(0, 1)).data, vec![10.0]);
+        assert_eq!(boxes[1].recv(1, tag(0, 1)).data, vec![11.0]);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (fab, mut boxes) = fabric(2);
+        let mut b1 = boxes.remove(1);
+        let h = std::thread::spawn(move || b1.recv(0, tag(3, 1)).data[0]);
+        fab.send(1, Envelope { iter: 0, tag: tag(3, 1), tensor: t(42.0) });
+        assert_eq!(h.join().unwrap(), 42.0);
+    }
+}

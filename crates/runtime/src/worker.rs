@@ -1,0 +1,258 @@
+//! The action-list interpreter: one instance runs per device thread.
+//!
+//! A worker owns the local modules its device's stages map to, an
+//! activation stash per in-flight micro-batch, and one gradient slot per
+//! `(stage, micro-batch)`. The flush (`OptimizerStep`) reduces slots in
+//! micro-batch order — the key to bit-exact equivalence across schedules —
+//! optionally exchanges sums with data-parallel peers, and applies SGD.
+
+use crate::collective::AllreduceHub;
+use crate::mailbox::{Envelope, Fabric, Mailbox};
+use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
+use hanayo_core::ids::{DeviceId, MicroBatch, StageId};
+use hanayo_tensor::loss::{mse, softmax_cross_entropy};
+use hanayo_tensor::{Stage, StageGrads, StageStash, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Loss functions the last pipeline stage can apply.
+#[derive(Debug, Clone)]
+pub enum LossKind {
+    /// Mean-squared error against per-micro-batch target tensors.
+    Mse,
+    /// Softmax cross-entropy against per-micro-batch label vectors.
+    CrossEntropy {
+        /// `labels[mb][row]` is the class of that row.
+        labels: Vec<Vec<usize>>,
+    },
+}
+
+/// One iteration's worth of pipeline input.
+#[derive(Debug, Clone)]
+pub struct IterationData {
+    /// One input tensor per micro-batch (consumed by stage 0).
+    pub inputs: Vec<Tensor>,
+    /// One target tensor per micro-batch (consumed by the last stage).
+    pub targets: Vec<Tensor>,
+}
+
+/// Everything a worker thread needs.
+pub struct WorkerConfig {
+    /// This worker's rank.
+    pub device: DeviceId,
+    /// The full schedule (workers read their own list plus the stage map).
+    pub schedule: Arc<Schedule>,
+    /// Modules for the stages this device hosts, keyed by global stage id.
+    pub modules: HashMap<u32, Stage>,
+    /// Per-iteration inputs/targets (shared; only the edge devices read it).
+    pub data: Arc<Vec<IterationData>>,
+    /// Loss applied at the last stage.
+    pub loss: LossKind,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Data-parallel exchange (rank, hub) when training replicated.
+    pub dp: Option<(usize, Arc<AllreduceHub>)>,
+}
+
+/// What a worker hands back when the run finishes.
+pub struct WorkerReport {
+    /// This worker's rank.
+    pub device: DeviceId,
+    /// Updated modules (same keys as the config's).
+    pub modules: HashMap<u32, Stage>,
+    /// Mean loss per iteration (non-empty only on the last-stage holder).
+    pub losses: Vec<f32>,
+    /// High-water mark of resident activation-stash bytes.
+    pub peak_stash_bytes: usize,
+}
+
+/// Interpret the device's action list for `data.len()` iterations.
+pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -> WorkerReport {
+    let schedule = Arc::clone(&cfg.schedule);
+    let device = cfg.device;
+    let stages = schedule.stage_map.stages;
+    let micro_batches = schedule.config.micro_batches;
+    let actions = &schedule.lists[device.idx()].actions;
+
+    let mut losses = Vec::new();
+    let mut peak_stash = 0usize;
+    let mut cur_stash = 0usize;
+
+    for (iter, data) in cfg.data.iter().enumerate() {
+        let iter = iter as u32;
+        assert_eq!(data.inputs.len(), micro_batches as usize, "inputs per micro-batch");
+        // In-flight state for this iteration.
+        let mut local: HashMap<MsgTag, Tensor> = HashMap::new();
+        let mut outbound: HashMap<MsgTag, Tensor> = HashMap::new();
+        let mut stash: HashMap<(u32, u32), StageStash> = HashMap::new();
+        let mut slots: HashMap<u32, Vec<Option<StageGrads>>> = cfg
+            .modules
+            .keys()
+            .map(|&s| (s, vec![None; micro_batches as usize]))
+            .collect();
+        let mut iter_loss = 0.0f32;
+
+        for action in actions {
+            match action {
+                Action::Forward { mb, stage } => {
+                    let x = if stage.0 == 0 {
+                        data.inputs[mb.idx()].clone()
+                    } else {
+                        let tag =
+                            MsgTag { mb: *mb, stage: *stage, payload: Payload::Activation };
+                        local.remove(&tag).unwrap_or_else(|| panic!("missing input {tag}"))
+                    };
+                    let module = cfg.modules.get(&stage.0).expect("module present");
+                    let (y, st) = module.forward(&x);
+                    cur_stash += st.bytes();
+                    peak_stash = peak_stash.max(cur_stash);
+                    stash.insert((mb.0, stage.0), st);
+                    if stage.0 + 1 == stages {
+                        // Turnaround: loss + gradient, consumed by this
+                        // stage's backward under its gradient tag.
+                        let (l, dy) = apply_loss(&cfg.loss, &y, data, *mb);
+                        iter_loss += l;
+                        let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
+                        local.insert(tag, dy);
+                    } else {
+                        let tag = MsgTag {
+                            mb: *mb,
+                            stage: StageId(stage.0 + 1),
+                            payload: Payload::Activation,
+                        };
+                        route(&schedule, device, tag, y, &mut local, &mut outbound);
+                    }
+                }
+                Action::Backward { mb, stage } => {
+                    let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
+                    let dy =
+                        local.remove(&tag).unwrap_or_else(|| panic!("missing gradient {tag}"));
+                    let st = stash
+                        .remove(&(mb.0, stage.0))
+                        .unwrap_or_else(|| panic!("missing stash for {mb} {stage}"));
+                    cur_stash -= st.bytes();
+                    let module = cfg.modules.get(&stage.0).expect("module present");
+                    let (dx, grads) = module.backward(&st, &dy);
+                    slots.get_mut(&stage.0).expect("slot row")[mb.idx()] = Some(grads);
+                    if stage.0 > 0 {
+                        let tag = MsgTag {
+                            mb: *mb,
+                            stage: StageId(stage.0 - 1),
+                            payload: Payload::Gradient,
+                        };
+                        route(&schedule, device, tag, dx, &mut local, &mut outbound);
+                    }
+                }
+                Action::Comm(op) => match op.dir {
+                    CommDir::Send => {
+                        let tensor = outbound
+                            .remove(&op.tag)
+                            .unwrap_or_else(|| panic!("nothing outbound for {}", op.tag));
+                        fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
+                    }
+                    CommDir::Recv => {
+                        let tensor = mailbox.recv(iter, op.tag);
+                        local.insert(op.tag, tensor);
+                    }
+                },
+                Action::BatchedComm(ops) => {
+                    // Post all sends first (non-blocking), then drain the
+                    // receives — the deadlock-free batch_isend_irecv order.
+                    for op in ops.iter().filter(|o| o.dir == CommDir::Send) {
+                        let tensor = outbound
+                            .remove(&op.tag)
+                            .unwrap_or_else(|| panic!("nothing outbound for {}", op.tag));
+                        fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
+                    }
+                    for op in ops.iter().filter(|o| o.dir == CommDir::Recv) {
+                        let tensor = mailbox.recv(iter, op.tag);
+                        local.insert(op.tag, tensor);
+                    }
+                }
+                Action::OptimizerStep => {
+                    let mut stage_ids: Vec<u32> = cfg.modules.keys().copied().collect();
+                    stage_ids.sort_unstable();
+                    for s in stage_ids {
+                        let module = cfg.modules.get_mut(&s).expect("module present");
+                        let mut total = module.zero_grads();
+                        for slot in slots.get_mut(&s).expect("slot row") {
+                            let g = slot.take().unwrap_or_else(|| {
+                                panic!("stage {s} missing a micro-batch gradient")
+                            });
+                            total.accumulate(&g);
+                        }
+                        if let Some((rank, hub)) = &cfg.dp {
+                            total = hub.allreduce(iter, s, *rank, total);
+                        }
+                        module.sgd_step(&total, cfg.lr);
+                    }
+                }
+            }
+        }
+
+        assert!(stash.is_empty(), "{device}: stash not drained");
+        assert!(outbound.is_empty(), "{device}: unsent outbound messages");
+        if holds_last_stage(&schedule, device) {
+            losses.push(iter_loss / micro_batches as f32);
+        }
+    }
+
+    WorkerReport {
+        device,
+        modules: std::mem::take(&mut cfg.modules),
+        losses,
+        peak_stash_bytes: peak_stash,
+    }
+}
+
+/// Deliver a produced tensor: keep it local when the consumer stage lives
+/// on this device, otherwise park it for the upcoming `Send` action.
+fn route(
+    schedule: &Schedule,
+    device: DeviceId,
+    tag: MsgTag,
+    tensor: Tensor,
+    local: &mut HashMap<MsgTag, Tensor>,
+    outbound: &mut HashMap<MsgTag, Tensor>,
+) {
+    if schedule.stage_map.device_of(tag.mb, tag.stage) == device {
+        local.insert(tag, tensor);
+    } else {
+        outbound.insert(tag, tensor);
+    }
+}
+
+fn apply_loss(loss: &LossKind, y: &Tensor, data: &IterationData, mb: MicroBatch) -> (f32, Tensor) {
+    match loss {
+        LossKind::Mse => mse(y, &data.targets[mb.idx()]),
+        LossKind::CrossEntropy { labels } => softmax_cross_entropy(y, &labels[mb.idx()]),
+    }
+}
+
+fn holds_last_stage(schedule: &Schedule, device: DeviceId) -> bool {
+    let last = StageId(schedule.stage_map.stages - 1);
+    schedule.stage_map.device_of(MicroBatch(0), last) == device
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_kinds_apply() {
+        let data = IterationData {
+            inputs: vec![Tensor::zeros(1, 2)],
+            targets: vec![Tensor::from_vec(1, 2, vec![1.0, 0.0])],
+        };
+        let y = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
+        let (l, _) = apply_loss(&LossKind::Mse, &y, &data, MicroBatch(0));
+        assert_eq!(l, 0.0);
+        let (l2, _) = apply_loss(
+            &LossKind::CrossEntropy { labels: vec![vec![0]] },
+            &y,
+            &data,
+            MicroBatch(0),
+        );
+        assert!(l2 > 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Cluster-level parallel plans: `D` data-parallel pipeline groups of `P`
+//! devices each, with the flush-time gradient all-reduce.
+//!
+//! This is also where the paper's Chimera fairness transformation lives:
+//! the benchmarked "C" is **Chimera-wave** — a `P`-device Chimera
+//! re-interpreted as two data-parallel 1-wave pipelines on `P/2` devices
+//! each (Fig. 5), so that every method holds exactly one weight copy.
+
+use crate::engine::{simulate, SimOptions};
+use crate::report::SimReport;
+use hanayo_cluster::collective::ring_allreduce_time;
+use hanayo_cluster::ClusterSpec;
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::schedule::{build_schedule, ScheduleError};
+use hanayo_model::{CostTable, ModelConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The methods compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GPipe ("G").
+    GPipe,
+    /// DAPPLE 1F1B ("D").
+    Dapple,
+    /// Chimera-wave ("C") — the paper's fairness form: replicas become
+    /// data parallelism.
+    ChimeraWave,
+    /// Native bidirectional Chimera with 2 weight replicas (Fig. 1/3 only).
+    ChimeraNative,
+    /// Hanayo with `waves` waves ("H-W").
+    Hanayo {
+        /// Wave count.
+        waves: u32,
+    },
+}
+
+impl Method {
+    /// Figure label (`G`, `D`, `C`, `H-2`, ...).
+    pub fn label(self) -> String {
+        match self {
+            Method::GPipe => "G".into(),
+            Method::Dapple => "D".into(),
+            Method::ChimeraWave => "C".into(),
+            Method::ChimeraNative => "C2".into(),
+            Method::Hanayo { waves } => format!("H-{waves}"),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::GPipe => write!(f, "GPipe"),
+            Method::Dapple => write!(f, "DAPPLE"),
+            Method::ChimeraWave => write!(f, "Chimera-wave"),
+            Method::ChimeraNative => write!(f, "Chimera(2 replicas)"),
+            Method::Hanayo { waves } => write!(f, "Hanayo(W={waves})"),
+        }
+    }
+}
+
+/// A complete cluster-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelPlan {
+    /// Scheduling method.
+    pub method: Method,
+    /// Data-parallel groups (`D` in the figures).
+    pub dp: u32,
+    /// Devices per pipeline (`P`).
+    pub pp: u32,
+    /// Micro-batches per pipeline per iteration (`B`).
+    pub micro_batches: u32,
+    /// Sequences per micro-batch.
+    pub micro_batch_size: u32,
+}
+
+/// Plan evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan needs more devices than the cluster has.
+    ClusterTooSmall {
+        /// Devices required (`dp × pp`).
+        needed: u32,
+        /// Devices available.
+        available: u32,
+    },
+    /// Chimera-wave requires an even pipeline width and micro-batch count.
+    OddChimeraSplit,
+    /// The pipeline schedule could not be generated.
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ClusterTooSmall { needed, available } => {
+                write!(f, "plan needs {needed} devices, cluster has {available}")
+            }
+            PlanError::OddChimeraSplit => write!(f, "Chimera-wave needs even P and B"),
+            PlanError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ScheduleError> for PlanError {
+    fn from(e: ScheduleError) -> Self {
+        PlanError::Schedule(e)
+    }
+}
+
+impl From<hanayo_core::config::ConfigError> for PlanError {
+    fn from(e: hanayo_core::config::ConfigError) -> Self {
+        PlanError::Schedule(ScheduleError::Config(e))
+    }
+}
+
+/// Result of evaluating a plan on a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanResult {
+    /// The evaluated plan.
+    pub plan: ParallelPlan,
+    /// Pipeline iteration time (max over groups), excluding the all-reduce.
+    pub pipeline_time: f64,
+    /// Flush-time gradient all-reduce (0 when `dp == 1`).
+    pub allreduce_time: f64,
+    /// End-to-end iteration time.
+    pub iteration_time: f64,
+    /// Sequences per second across the whole cluster.
+    pub throughput: f64,
+    /// Bubble ratio of the first pipeline group.
+    pub bubble_ratio: f64,
+    /// Peak bytes per *global* device.
+    pub peak_mem: Vec<u64>,
+    /// Devices whose peak exceeds their capacity.
+    pub oom_devices: Vec<usize>,
+    /// Report of the first pipeline group (timeline etc.).
+    pub group_report: SimReport,
+}
+
+impl PlanResult {
+    /// Did any device run out of memory?
+    pub fn is_oom(&self) -> bool {
+        !self.oom_devices.is_empty()
+    }
+}
+
+/// Resolve a method into the pipeline actually simulated:
+/// `(scheme, pipeline width, dp multiplier, micro-batch divisor)`.
+fn resolve(method: Method, pp: u32, b: u32) -> Result<(Scheme, u32, u32, u32), PlanError> {
+    match method {
+        Method::GPipe => Ok((Scheme::GPipe, pp, 1, b)),
+        Method::Dapple => Ok((Scheme::Dapple, pp, 1, b)),
+        Method::ChimeraNative => Ok((Scheme::Chimera, pp, 1, b)),
+        Method::ChimeraWave => {
+            if !pp.is_multiple_of(2) || !b.is_multiple_of(2) {
+                return Err(PlanError::OddChimeraSplit);
+            }
+            Ok((Scheme::Hanayo { waves: 1 }, pp / 2, 2, b / 2))
+        }
+        Method::Hanayo { waves } => Ok((Scheme::Hanayo { waves }, pp, 1, b)),
+    }
+}
+
+/// Evaluate a plan: simulate every pipeline group on its device slice, add
+/// the data-parallel all-reduce, merge memory, and compute throughput.
+pub fn evaluate_plan(
+    plan: &ParallelPlan,
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<PlanResult, PlanError> {
+    let needed = plan.dp * plan.pp;
+    if needed as usize > cluster.len() {
+        return Err(PlanError::ClusterTooSmall {
+            needed,
+            available: cluster.len() as u32,
+        });
+    }
+    let (scheme, pp_eff, dp_mult, b_eff) = resolve(plan.method, plan.pp, plan.micro_batches)?;
+    let dp_eff = plan.dp * dp_mult;
+
+    let cfg = PipelineConfig::new(pp_eff, b_eff, scheme)?;
+    let schedule = build_schedule(&cfg)?;
+    let cost = CostTable::build(model, cfg.stages(), plan.micro_batch_size);
+
+    // Simulate each group on its contiguous device slice.
+    let mut peak_mem = vec![0u64; cluster.len()];
+    let mut pipeline_time = 0.0f64;
+    let mut first_report: Option<SimReport> = None;
+    for g in 0..dp_eff {
+        let devices: Vec<usize> =
+            (0..pp_eff as usize).map(|r| (g * pp_eff) as usize + r).collect();
+        let sub = cluster.select(&devices);
+        let report = simulate(&schedule, &cost, &sub, opts);
+        pipeline_time = pipeline_time.max(report.iteration_time);
+        for (r, &global) in devices.iter().enumerate() {
+            peak_mem[global] = report.peak_mem[r];
+        }
+        if first_report.is_none() {
+            first_report = Some(report);
+        }
+    }
+    let group_report = first_report.expect("at least one group");
+
+    // Data-parallel gradient all-reduce of the fp16 gradient buffers. Only
+    // the non-overlapped fraction is exposed on the critical path (see
+    // SimOptions::allreduce_overlap).
+    let allreduce_time = if dp_eff > 1 {
+        let raw = (0..pp_eff as usize)
+            .map(|r| {
+                let ring: Vec<usize> =
+                    (0..dp_eff).map(|g| (g * pp_eff) as usize + r).collect();
+                ring_allreduce_time(cluster, &ring, group_report.grad_mem[r])
+            })
+            .fold(0.0, f64::max);
+        raw * (1.0 - opts.allreduce_overlap.clamp(0.0, 1.0))
+    } else {
+        0.0
+    };
+
+    let iteration_time = pipeline_time + allreduce_time;
+    let sequences = (dp_eff * b_eff * plan.micro_batch_size) as f64;
+    let capacities: Vec<u64> = (0..cluster.len()).map(|d| cluster.memory(d)).collect();
+    let oom_devices = peak_mem
+        .iter()
+        .enumerate()
+        .filter(|&(d, &m)| m > capacities[d])
+        .map(|(d, _)| d)
+        .collect();
+
+    Ok(PlanResult {
+        plan: *plan,
+        pipeline_time,
+        allreduce_time,
+        iteration_time,
+        throughput: sequences / iteration_time,
+        bubble_ratio: group_report.bubble_ratio,
+        peak_mem,
+        oom_devices,
+        group_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink};
+
+    fn plan(method: Method, dp: u32, pp: u32, b: u32) -> ParallelPlan {
+        ParallelPlan { method, dp, pp, micro_batches: b, micro_batch_size: 1 }
+    }
+
+    fn eval(p: &ParallelPlan, cluster: &ClusterSpec) -> PlanResult {
+        evaluate_plan(p, &ModelConfig::bert64(), cluster, SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fig9_ordering_on_fc() {
+        // FC (full NVLink): H-2 > C > D ≈ G in throughput.
+        let cluster = fc_full_nvlink(8);
+        let g = eval(&plan(Method::GPipe, 1, 8, 8), &cluster);
+        let d = eval(&plan(Method::Dapple, 1, 8, 8), &cluster);
+        let c = eval(&plan(Method::ChimeraWave, 1, 8, 8), &cluster);
+        let h = eval(&plan(Method::Hanayo { waves: 2 }, 1, 8, 8), &cluster);
+        assert!(c.throughput > d.throughput, "C {} vs D {}", c.throughput, d.throughput);
+        assert!(h.throughput > c.throughput, "H {} vs C {}", h.throughput, c.throughput);
+        assert!((g.throughput - d.throughput).abs() / d.throughput < 0.05);
+    }
+
+    #[test]
+    fn chimera_wave_uses_two_groups() {
+        let cluster = fc_full_nvlink(8);
+        let c = eval(&plan(Method::ChimeraWave, 1, 8, 8), &cluster);
+        assert!(c.allreduce_time > 0.0, "replica dimension must all-reduce");
+        // All 8 devices carry weights.
+        assert!(c.peak_mem.iter().all(|&m| m > 0));
+    }
+
+    #[test]
+    fn explicit_dp_trades_bubbles_for_allreduce() {
+        // (D=2, P=4) has a shorter pipe (lower bubble ratio) but pays the
+        // gradient all-reduce; (D=1, P=8) is the reverse. Both must be
+        // evaluable and land in the same ballpark — the Fig. 10 search is
+        // what picks the winner per cluster.
+        let cluster = fc_full_nvlink(8);
+        let deep = eval(&plan(Method::Hanayo { waves: 2 }, 1, 8, 8), &cluster);
+        let wide = eval(&plan(Method::Hanayo { waves: 2 }, 2, 4, 4), &cluster);
+        assert!(wide.bubble_ratio < deep.bubble_ratio, "wide pipe has fewer bubbles");
+        assert!(wide.allreduce_time > 0.0 && deep.allreduce_time == 0.0);
+        let ratio = wide.throughput / deep.throughput;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_oversized_plans() {
+        let cluster = fc_full_nvlink(8);
+        let err = evaluate_plan(
+            &plan(Method::Dapple, 2, 8, 8),
+            &ModelConfig::bert64(),
+            &cluster,
+            SimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::ClusterTooSmall { needed: 16, .. }));
+    }
+
+    #[test]
+    fn rejects_odd_chimera_wave() {
+        let cluster = fc_full_nvlink(8);
+        let err = evaluate_plan(
+            &plan(Method::ChimeraWave, 1, 7, 8),
+            &ModelConfig::bert64(),
+            &cluster,
+            SimOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::OddChimeraSplit);
+    }
+
+    #[test]
+    fn gpipe_ooms_where_hanayo_fits() {
+        // Lonestar6 40 GB, BERT, B = 2P, micro-batch 2 sequences: GPipe
+        // stashes all 16 micro-batches and dies; Hanayo stays within its
+        // 1F1B-style budget.
+        let cluster = lonestar6(8);
+        let g = eval(
+            &ParallelPlan {
+                method: Method::GPipe,
+                dp: 1,
+                pp: 8,
+                micro_batches: 16,
+                micro_batch_size: 2,
+            },
+            &cluster,
+        );
+        let h = eval(
+            &ParallelPlan {
+                method: Method::Hanayo { waves: 2 },
+                dp: 1,
+                pp: 8,
+                micro_batches: 16,
+                micro_batch_size: 2,
+            },
+            &cluster,
+        );
+        assert!(g.is_oom(), "GPipe peak {:?}", g.peak_mem.iter().max());
+        assert!(!h.is_oom(), "Hanayo peak {:?}", h.peak_mem.iter().max());
+    }
+
+    #[test]
+    fn throughput_counts_all_groups() {
+        let cluster = fc_full_nvlink(8);
+        let one = eval(&plan(Method::Dapple, 1, 4, 4), &cluster);
+        let two = eval(&plan(Method::Dapple, 2, 4, 4), &cluster);
+        // Two groups process twice the sequences; all-reduce taxes a bit.
+        assert!(two.throughput > 1.5 * one.throughput);
+    }
+
+    #[test]
+    fn pc_cluster_placement_matters_for_chimera_wave() {
+        // On PC, the first 1-wave group lands on NVLink pairs (0..4
+        // contains pairs 01 and 23) — it must still beat DAPPLE.
+        let cluster = pc_partial_nvlink(8);
+        let c = eval(&plan(Method::ChimeraWave, 1, 8, 8), &cluster);
+        let d = eval(&plan(Method::Dapple, 1, 8, 8), &cluster);
+        assert!(c.throughput > d.throughput);
+    }
+}

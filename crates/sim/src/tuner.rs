@@ -1,0 +1,178 @@
+//! The auto-tuner: the paper's "unified framework [that] enables ...
+//! automatically scal[ing] pipelines to more devices" and "performance
+//! model with adaptability to choose from various pipeline parallelism
+//! strategies to attain optimal performance" (§1, §6).
+//!
+//! Given a model, a cluster and a global batch, [`tune`] sweeps the whole
+//! strategy space — method × wave count × (P, D) factorisations — through
+//! the discrete-event simulator, discards OOM plans, and ranks the rest by
+//! throughput. [`Tuning::best`] is the plan a user should run.
+
+use crate::engine::SimOptions;
+use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
+use hanayo_cluster::ClusterSpec;
+use hanayo_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The plan.
+    pub plan: ParallelPlan,
+    /// Its simulated outcome.
+    pub result: PlanResult,
+}
+
+/// The ranked search outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuning {
+    /// Feasible candidates, best throughput first.
+    pub ranked: Vec<Candidate>,
+    /// Candidates rejected for memory, as `(plan, highest peak bytes)`.
+    pub rejected_oom: Vec<(ParallelPlan, u64)>,
+}
+
+impl Tuning {
+    /// The winning candidate (None if nothing fits).
+    pub fn best(&self) -> Option<&Candidate> {
+        self.ranked.first()
+    }
+}
+
+/// Search knobs.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Methods to consider.
+    pub methods: Vec<Method>,
+    /// Wave counts searched for Hanayo.
+    pub waves: Vec<u32>,
+    /// Minimum pipeline width to consider (deep models cannot shrink `P`
+    /// below their memory share).
+    pub min_pp: u32,
+    /// Simulator options.
+    pub sim: SimOptions,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            methods: vec![Method::GPipe, Method::Dapple, Method::ChimeraWave],
+            waves: vec![1, 2, 4, 8],
+            min_pp: 2,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// Sweep the strategy space and rank feasible plans by throughput.
+///
+/// `global_micro_batches` is the batch per iteration across the whole
+/// cluster; each candidate splits it evenly over its data-parallel groups
+/// (plans whose `D` does not divide it are skipped).
+pub fn tune(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+) -> Tuning {
+    let n = cluster.len() as u32;
+    let mut ranked = Vec::new();
+    let mut rejected = Vec::new();
+
+    let mut methods = opts.methods.clone();
+    methods.extend(opts.waves.iter().map(|&w| Method::Hanayo { waves: w }));
+
+    for pp in (opts.min_pp..=n).filter(|pp| n % pp == 0) {
+        let dp = n / pp;
+        if global_micro_batches % dp != 0 {
+            continue;
+        }
+        let b = global_micro_batches / dp;
+        for &method in &methods {
+            let plan = ParallelPlan {
+                method,
+                dp,
+                pp,
+                micro_batches: b,
+                micro_batch_size,
+            };
+            let Ok(result) = evaluate_plan(&plan, model, cluster, opts.sim) else {
+                continue;
+            };
+            if result.is_oom() {
+                rejected.push((plan, result.peak_mem.iter().copied().max().unwrap_or(0)));
+            } else {
+                ranked.push(Candidate { plan, result });
+            }
+        }
+    }
+    ranked.sort_by(|a, b| b.result.throughput.total_cmp(&a.result.throughput));
+    Tuning { ranked, rejected_oom: rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanayo_cluster::topology::{fc_full_nvlink, lonestar6};
+
+    fn opts() -> TuneOptions {
+        TuneOptions { waves: vec![1, 2, 4], min_pp: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn tuner_finds_a_feasible_plan() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let t = tune(&model, &fc_full_nvlink(8), 8, 1, &opts());
+        let best = t.best().expect("something fits an 80GB box");
+        assert!(best.result.throughput > 0.0);
+    }
+
+    #[test]
+    fn best_plan_is_a_wave_schedule() {
+        // On a healthy interconnect the tuner must pick Hanayo.
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let t = tune(&model, &fc_full_nvlink(8), 8, 1, &opts());
+        let best = t.best().unwrap();
+        assert!(
+            matches!(best.plan.method, Method::Hanayo { .. }),
+            "tuner chose {:?}",
+            best.plan.method
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_throughput() {
+        let model = ModelConfig::gpt128().with_train_bytes_per_param(8);
+        let t = tune(&model, &lonestar6(8), 8, 1, &opts());
+        for pair in t.ranked.windows(2) {
+            assert!(pair[0].result.throughput >= pair[1].result.throughput);
+        }
+    }
+
+    #[test]
+    fn oom_plans_are_reported_not_ranked() {
+        // Full-Adam BERT on 40 GB cards with a deep micro-batch: some plans
+        // must be rejected for memory and carry their peak.
+        let model = ModelConfig::bert64();
+        let t = tune(&model, &lonestar6(8), 16, 4, &opts());
+        assert!(!t.rejected_oom.is_empty(), "expected OOM rejections");
+        for (_, peak) in &t.rejected_oom {
+            assert!(*peak > 38_000_000_000);
+        }
+        for c in &t.ranked {
+            assert!(!c.result.is_oom());
+        }
+    }
+
+    #[test]
+    fn indivisible_batches_are_skipped_not_crashed() {
+        let model = ModelConfig::gpt128().with_train_bytes_per_param(8);
+        // 7 micro-batches over 8 devices: only D=1 factorisations apply.
+        let t = tune(&model, &fc_full_nvlink(8), 7, 1, &opts());
+        for c in &t.ranked {
+            assert_eq!(c.plan.dp * c.plan.micro_batches, 7 * c.plan.dp / c.plan.dp);
+            assert_eq!(c.plan.dp, 1);
+        }
+    }
+}

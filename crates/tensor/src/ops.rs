@@ -1,0 +1,194 @@
+//! Elementwise activations and normalisation, forward and backward.
+//!
+//! Backward passes are hand-derived; `tests/` cross-checks every one of
+//! them against central finite differences.
+
+use crate::tensor::Tensor;
+
+/// Exact GELU: `x * Φ(x)` with `Φ` the standard normal CDF, implemented via
+/// `erf`. Matches the non-tanh-approximation variant.
+pub fn gelu(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for v in &mut out.data {
+        *v = 0.5 * *v * (1.0 + erf(*v / std::f32::consts::SQRT_2));
+    }
+    out
+}
+
+/// d/dx GELU, given the *input* `x` and upstream `dy`.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    let mut out = dy.clone();
+    for (g, &xv) in out.data.iter_mut().zip(&x.data) {
+        let cdf = 0.5 * (1.0 + erf(xv / std::f32::consts::SQRT_2));
+        let pdf = (-0.5 * xv * xv).exp() / (2.0 * std::f32::consts::PI).sqrt();
+        *g *= cdf + xv * pdf;
+    }
+    out
+}
+
+/// ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for v in &mut out.data {
+        *v = v.max(0.0);
+    }
+    out
+}
+
+/// d/dx ReLU given input `x` and upstream `dy`.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    let mut out = dy.clone();
+    for (g, &xv) in out.data.iter_mut().zip(&x.data) {
+        if xv <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    out
+}
+
+/// Row-wise layer normalisation (no affine parameters; the affine part
+/// lives in [`crate::stage::Block::LayerNorm`]'s gain/bias).
+/// Returns `(normalised, per-row mean, per-row inverse std)`.
+pub fn layernorm(x: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let mut out = x.clone();
+    let mut means = Vec::with_capacity(x.rows);
+    let mut inv_stds = Vec::with_capacity(x.rows);
+    let n = x.cols as f32;
+    for r in 0..x.rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for c in 0..x.cols {
+            *out.get_mut(r, c) = (x.get(r, c) - mean) * inv_std;
+        }
+        means.push(mean);
+        inv_stds.push(inv_std);
+    }
+    (out, means, inv_stds)
+}
+
+/// Backward of row-wise layernorm. `xhat` is the normalised output,
+/// `inv_std` the saved per-row inverse std, `dy` the upstream gradient
+/// w.r.t. the normalised output.
+pub fn layernorm_backward(xhat: &Tensor, inv_std: &[f32], dy: &Tensor) -> Tensor {
+    let n = xhat.cols as f32;
+    let mut dx = Tensor::zeros(xhat.rows, xhat.cols);
+    for r in 0..xhat.rows {
+        let dy_row = dy.row(r);
+        let xh_row = xhat.row(r);
+        let sum_dy: f32 = dy_row.iter().sum();
+        let sum_dy_xhat: f32 = dy_row.iter().zip(xh_row).map(|(a, b)| a * b).sum();
+        for c in 0..xhat.cols {
+            let v = (dy.get(r, c) - sum_dy / n - xhat.get(r, c) * sum_dy_xhat / n) * inv_std[r];
+            *dx.get_mut(r, c) = v;
+        }
+    }
+    dx
+}
+
+/// `erf` via the Abramowitz–Stegun 7.1.26 polynomial (|error| < 1.5e-7,
+/// plenty for f32).
+pub fn erf(x: f32) -> f32 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061_405_4 * t - 1.453_152_1) * t) + 1.421_413_8) * t - 0.284_496_72) * t
+            + 0.254_829_6)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(1, n, v)
+    }
+
+    #[test]
+    fn erf_known_points() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((erf(3.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        let y = gelu(&t(vec![0.0, 1.0, -1.0]));
+        assert!(y.data[0].abs() < 1e-6);
+        assert!((y.data[1] - 0.8413).abs() < 1e-3);
+        assert!((y.data[2] + 0.1587).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let y = relu(&t(vec![-2.0, 0.0, 3.0]));
+        assert_eq!(y.data, vec![0.0, 0.0, 3.0]);
+        let dx = relu_backward(&t(vec![-2.0, 0.0, 3.0]), &t(vec![1.0, 1.0, 1.0]));
+        assert_eq!(dx.data, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(2, 4, vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let (y, _, _) = layernorm(&x, 1e-5);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gelu_gradient_finite_difference() {
+        let x = t(vec![-1.5, -0.3, 0.0, 0.4, 2.0]);
+        let dy = t(vec![1.0; 5]);
+        let analytic = gelu_backward(&x, &dy);
+        let eps = 1e-3f32;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.data[i] += eps;
+            xm.data[i] -= eps;
+            let fd = (gelu(&xp).data[i] - gelu(&xm).data[i]) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data[i]).abs() < 1e-2,
+                "i={i} fd={fd} an={}",
+                analytic.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_finite_difference() {
+        let x = Tensor::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.1]);
+        let dy = Tensor::from_vec(1, 4, vec![0.3, -0.2, 0.5, 1.0]);
+        let (xhat, _, inv_std) = layernorm(&x, 1e-5);
+        let analytic = layernorm_backward(&xhat, &inv_std, &dy);
+        let eps = 1e-3f32;
+        // Scalar objective: sum(dy * layernorm(x)).
+        let obj = |xx: &Tensor| -> f32 {
+            let (y, _, _) = layernorm(xx, 1e-5);
+            y.data.iter().zip(&dy.data).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..4 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.data[i] += eps;
+            xm.data[i] -= eps;
+            let fd = (obj(&xp) - obj(&xm)) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data[i]).abs() < 5e-3,
+                "i={i} fd={fd} an={}",
+                analytic.data[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Optimizers: plain SGD and Adam, operating on a [`Stage`] and its
+//! [`StageGrads`]. Both are deterministic given a deterministic gradient
+//! stream.
+
+use crate::stage::{Block, BlockGrads, Stage, StageGrads};
+
+/// Stochastic gradient descent.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Apply one update.
+    pub fn step(&self, stage: &mut Stage, grads: &StageGrads) {
+        stage.sgd_step(grads, self.lr);
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction; the optimizer the paper's
+/// memory accounting assumes (two f32 moments per parameter).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    t: u32,
+    m: StageGrads,
+    v: StageGrads,
+}
+
+impl Adam {
+    /// Create Adam state matching `stage`'s parameter shapes.
+    pub fn new(stage: &Stage, lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: stage.zero_grads(),
+            v: stage.zero_grads(),
+        }
+    }
+
+    /// Bytes of optimizer state (two moments per parameter).
+    pub fn state_bytes(&self) -> usize {
+        self.m.flat().len() * 8
+    }
+
+    /// Apply one update.
+    pub fn step(&mut self, stage: &mut Stage, grads: &StageGrads) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+
+        let update = |p: &mut f32, g: f32, m: &mut f32, v: &mut f32| {
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        };
+
+        for (((block, g), m), v) in stage
+            .blocks
+            .iter_mut()
+            .zip(&grads.per_block)
+            .zip(&mut self.m.per_block)
+            .zip(&mut self.v.per_block)
+        {
+            match (block, g, m, v) {
+                (
+                    Block::Linear { w, b },
+                    BlockGrads::Linear { dw, db },
+                    BlockGrads::Linear { dw: mw, db: mb },
+                    BlockGrads::Linear { dw: vw, db: vb },
+                ) => {
+                    for i in 0..w.data.len() {
+                        update(&mut w.data[i], dw.data[i], &mut mw.data[i], &mut vw.data[i]);
+                    }
+                    for i in 0..b.len() {
+                        update(&mut b[i], db[i], &mut mb[i], &mut vb[i]);
+                    }
+                }
+                (
+                    Block::LayerNorm { gain, bias, .. },
+                    BlockGrads::LayerNorm { dgain, dbias },
+                    BlockGrads::LayerNorm { dgain: mg, dbias: mbias },
+                    BlockGrads::LayerNorm { dgain: vg, dbias: vbias },
+                ) => {
+                    for i in 0..gain.len() {
+                        update(&mut gain[i], dgain[i], &mut mg[i], &mut vg[i]);
+                    }
+                    for i in 0..bias.len() {
+                        update(&mut bias[i], dbias[i], &mut mbias[i], &mut vbias[i]);
+                    }
+                }
+                (_, BlockGrads::None, BlockGrads::None, BlockGrads::None) => {}
+                _ => panic!("optimizer state shape mismatch"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::rng::{seeded, uniform};
+
+    /// Teacher-student fit: the target is produced by a frozen stage of the
+    /// same architecture, so it is actually reachable (GELU's output floor
+    /// makes arbitrary targets unreachable). Returns (initial, final) loss.
+    fn train_loss<F: FnMut(&mut Stage, &StageGrads)>(mut step: F) -> (f32, f32) {
+        let mut s = Stage::mlp(&mut seeded(20), 8, 1);
+        let teacher = Stage::mlp(&mut seeded(99), 8, 1);
+        let x = uniform(&mut seeded(21), 8, 8, 0.5);
+        let (target, _) = teacher.forward(&x);
+        let initial = mse(&s.forward(&x).0, &target).0;
+        for _ in 0..60 {
+            let (y, stash) = s.forward(&x);
+            let (_, dy) = mse(&y, &target);
+            let (_, grads) = s.backward(&stash, &dy);
+            step(&mut s, &grads);
+        }
+        let (y, _) = s.forward(&x);
+        (initial, mse(&y, &target).0)
+    }
+
+    #[test]
+    fn sgd_trains() {
+        let sgd = Sgd { lr: 0.1 };
+        let (before, after) = train_loss(|s, g| sgd.step(s, g));
+        assert!(after < 0.5 * before, "sgd loss {before} -> {after}");
+    }
+
+    #[test]
+    fn adam_trains() {
+        let mut adam: Option<Adam> = None;
+        let (before, after) = train_loss(|s, g| {
+            let a = adam.get_or_insert_with(|| Adam::new(s, 0.01));
+            a.step(s, g);
+        });
+        assert!(after < 0.5 * before, "adam loss {before} -> {after}");
+    }
+
+    #[test]
+    fn adam_state_matches_param_count() {
+        let s = Stage::mlp(&mut seeded(23), 8, 2);
+        let adam = Adam::new(&s, 0.01);
+        assert_eq!(adam.state_bytes(), s.param_count() * 8);
+    }
+
+    #[test]
+    fn adam_is_deterministic() {
+        let run = || {
+            let mut s = Stage::mlp(&mut seeded(24), 6, 1);
+            let mut adam = Adam::new(&s, 0.02);
+            let x = uniform(&mut seeded(25), 4, 6, 0.5);
+            let t = uniform(&mut seeded(26), 4, 6, 0.5);
+            for _ in 0..5 {
+                let (y, stash) = s.forward(&x);
+                let (_, dy) = mse(&y, &t);
+                let (_, g) = s.backward(&stash, &dy);
+                adam.step(&mut s, &g);
+            }
+            s
+        };
+        assert_eq!(run(), run());
+    }
+}

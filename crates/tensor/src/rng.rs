@@ -1,0 +1,61 @@
+//! Seeded, reproducible initialisation. Every weight in every test and
+//! benchmark comes from here, which is what makes cross-engine gradient
+//! comparisons exact.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform tensor in `[-limit, limit)`.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f32) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.random::<f32>() * 2.0 * limit - limit)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Kaiming/He-style init for a `fan_in → fan_out` linear layer:
+/// uniform with limit `sqrt(6 / fan_in)`.
+pub fn he_init(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, fan_in, fan_out, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = he_init(&mut seeded(7), 16, 8);
+        let b = he_init(&mut seeded(7), 16, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = he_init(&mut seeded(7), 16, 8);
+        let b = he_init(&mut seeded(8), 16, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let t = uniform(&mut seeded(1), 10, 10, 0.5);
+        assert!(t.data.iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+
+    #[test]
+    fn he_limit_shrinks_with_fan_in() {
+        let wide = he_init(&mut seeded(3), 1024, 4);
+        let narrow = he_init(&mut seeded(3), 4, 4);
+        let max_wide = wide.data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max_narrow = narrow.data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_wide < max_narrow);
+    }
+}

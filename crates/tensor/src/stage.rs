@@ -1,0 +1,509 @@
+//! Pipeline stage modules: the unit of model partitioning.
+//!
+//! A [`Stage`] is a sequential stack of [`Block`]s — the "local module" a
+//! device executes when its action list says `Forward(mb, stage)`. Forward
+//! returns an explicit [`StageStash`] that the engine keeps until the
+//! matching backward; backward returns the input gradient (to send
+//! upstream) and a [`StageGrads`] container that supports deterministic,
+//! order-controlled accumulation across micro-batches.
+
+use crate::ops;
+use crate::rng;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// One primitive layer inside a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Affine map `y = x·W + b`.
+    Linear {
+        /// Weight `[in, out]`.
+        w: Tensor,
+        /// Bias `[out]`.
+        b: Vec<f32>,
+    },
+    /// Exact GELU activation.
+    Gelu,
+    /// ReLU activation.
+    Relu,
+    /// Row-wise layer normalisation with learned gain/bias.
+    LayerNorm {
+        /// Per-feature gain.
+        gain: Vec<f32>,
+        /// Per-feature bias.
+        bias: Vec<f32>,
+        /// Variance epsilon.
+        eps: f32,
+    },
+}
+
+/// Saved forward state of one block, consumed by its backward.
+#[derive(Debug, Clone)]
+pub enum BlockStash {
+    /// Linear saves its input.
+    Input(Tensor),
+    /// LayerNorm saves the normalised activations and the inverse std.
+    Norm {
+        /// Normalised (pre-affine) activations.
+        xhat: Tensor,
+        /// Saved `1/σ` per row.
+        inv_std: Vec<f32>,
+    },
+}
+
+/// Saved forward state of a whole stage for one micro-batch.
+#[derive(Debug, Clone)]
+pub struct StageStash {
+    per_block: Vec<BlockStash>,
+}
+
+impl StageStash {
+    /// Approximate resident bytes of this stash (activation memory).
+    pub fn bytes(&self) -> usize {
+        self.per_block
+            .iter()
+            .map(|s| match s {
+                BlockStash::Input(t) => t.len() * 4,
+                BlockStash::Norm { xhat, inv_std } => xhat.len() * 4 + inv_std.len() * 4,
+            })
+            .sum()
+    }
+}
+
+/// Parameter gradients of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockGrads {
+    /// Gradients of a linear block.
+    Linear {
+        /// `dL/dW`.
+        dw: Tensor,
+        /// `dL/db`.
+        db: Vec<f32>,
+    },
+    /// Parameter-free block.
+    None,
+    /// Gradients of a layernorm block.
+    LayerNorm {
+        /// `dL/dgain`.
+        dgain: Vec<f32>,
+        /// `dL/dbias`.
+        dbias: Vec<f32>,
+    },
+}
+
+/// Parameter gradients of a whole stage; supports exact accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageGrads {
+    /// One entry per block, aligned with the stage's block list.
+    pub per_block: Vec<BlockGrads>,
+}
+
+impl StageGrads {
+    /// Accumulate `other` into `self` (element-wise add, fixed order).
+    pub fn accumulate(&mut self, other: &StageGrads) {
+        assert_eq!(self.per_block.len(), other.per_block.len());
+        for (a, b) in self.per_block.iter_mut().zip(&other.per_block) {
+            match (a, b) {
+                (
+                    BlockGrads::Linear { dw, db },
+                    BlockGrads::Linear { dw: dw2, db: db2 },
+                ) => {
+                    dw.add_assign(dw2);
+                    for (x, y) in db.iter_mut().zip(db2) {
+                        *x += y;
+                    }
+                }
+                (
+                    BlockGrads::LayerNorm { dgain, dbias },
+                    BlockGrads::LayerNorm { dgain: g2, dbias: b2 },
+                ) => {
+                    for (x, y) in dgain.iter_mut().zip(g2) {
+                        *x += y;
+                    }
+                    for (x, y) in dbias.iter_mut().zip(b2) {
+                        *x += y;
+                    }
+                }
+                (BlockGrads::None, BlockGrads::None) => {}
+                _ => panic!("gradient shape mismatch"),
+            }
+        }
+    }
+
+    /// Scale all gradients (e.g. by `1/B` for mean-reduction losses).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in &mut self.per_block {
+            match g {
+                BlockGrads::Linear { dw, db } => {
+                    dw.scale(alpha);
+                    for v in db {
+                        *v *= alpha;
+                    }
+                }
+                BlockGrads::LayerNorm { dgain, dbias } => {
+                    for v in dgain {
+                        *v *= alpha;
+                    }
+                    for v in dbias {
+                        *v *= alpha;
+                    }
+                }
+                BlockGrads::None => {}
+            }
+        }
+    }
+
+    /// Flatten to a single vector (testing / optimizer state bootstrap).
+    pub fn flat(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for g in &self.per_block {
+            match g {
+                BlockGrads::Linear { dw, db } => {
+                    out.extend_from_slice(&dw.data);
+                    out.extend_from_slice(db);
+                }
+                BlockGrads::LayerNorm { dgain, dbias } => {
+                    out.extend_from_slice(dgain);
+                    out.extend_from_slice(dbias);
+                }
+                BlockGrads::None => {}
+            }
+        }
+        out
+    }
+}
+
+/// A sequential stack of blocks — one pipeline stage's local module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// The blocks, applied in order.
+    pub blocks: Vec<Block>,
+}
+
+impl Stage {
+    /// An MLP stage: `depth` repetitions of `LayerNorm → Linear → Gelu`
+    /// at a fixed `width`. The shape every model builder in
+    /// `hanayo-model` uses.
+    pub fn mlp(rng: &mut StdRng, width: usize, depth: usize) -> Stage {
+        let mut blocks = Vec::with_capacity(3 * depth);
+        for _ in 0..depth {
+            blocks.push(Block::LayerNorm {
+                gain: vec![1.0; width],
+                bias: vec![0.0; width],
+                eps: 1e-5,
+            });
+            blocks.push(Block::Linear {
+                w: rng::he_init(rng, width, width),
+                b: vec![0.0; width],
+            });
+            blocks.push(Block::Gelu);
+        }
+        Stage { blocks }
+    }
+
+    /// An empty stage (identity). Used for zero-layer partitions.
+    pub fn identity() -> Stage {
+        Stage { blocks: Vec::new() }
+    }
+
+    /// All parameters flattened into one vector (block order, weights
+    /// before biases). Useful for checkpoints and cross-run comparisons.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for block in &self.blocks {
+            match block {
+                Block::Linear { w, b } => {
+                    out.extend_from_slice(&w.data);
+                    out.extend_from_slice(b);
+                }
+                Block::LayerNorm { gain, bias, .. } => {
+                    out.extend_from_slice(gain);
+                    out.extend_from_slice(bias);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Linear { w, b } => w.len() + b.len(),
+                Block::LayerNorm { gain, bias, .. } => gain.len() + bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Forward pass; returns the output and the stash for backward.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, StageStash) {
+        let mut cur = x.clone();
+        let mut per_block = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            match block {
+                Block::Linear { w, b } => {
+                    per_block.push(BlockStash::Input(cur.clone()));
+                    let mut y = cur.matmul(w);
+                    for r in 0..y.rows {
+                        for c in 0..y.cols {
+                            *y.get_mut(r, c) += b[c];
+                        }
+                    }
+                    cur = y;
+                }
+                Block::Gelu => {
+                    per_block.push(BlockStash::Input(cur.clone()));
+                    cur = ops::gelu(&cur);
+                }
+                Block::Relu => {
+                    per_block.push(BlockStash::Input(cur.clone()));
+                    cur = ops::relu(&cur);
+                }
+                Block::LayerNorm { gain, bias, eps } => {
+                    let (xhat, _means, inv_std) = ops::layernorm(&cur, *eps);
+                    let mut y = xhat.clone();
+                    for r in 0..y.rows {
+                        for c in 0..y.cols {
+                            *y.get_mut(r, c) = y.get(r, c) * gain[c] + bias[c];
+                        }
+                    }
+                    per_block.push(BlockStash::Norm { xhat, inv_std });
+                    cur = y;
+                }
+            }
+        }
+        (cur, StageStash { per_block })
+    }
+
+    /// Backward pass; returns `(dL/dx, parameter gradients)`.
+    pub fn backward(&self, stash: &StageStash, dy: &Tensor) -> (Tensor, StageGrads) {
+        assert_eq!(stash.per_block.len(), self.blocks.len(), "stash mismatch");
+        let mut grad = dy.clone();
+        let mut per_block: Vec<BlockGrads> = vec![BlockGrads::None; self.blocks.len()];
+        for (i, block) in self.blocks.iter().enumerate().rev() {
+            match (block, &stash.per_block[i]) {
+                (Block::Linear { w, .. }, BlockStash::Input(x)) => {
+                    let dw = x.transpose().matmul(&grad);
+                    let db = grad.col_sum();
+                    grad = grad.matmul(&w.transpose());
+                    per_block[i] = BlockGrads::Linear { dw, db };
+                }
+                (Block::Gelu, BlockStash::Input(x)) => {
+                    grad = ops::gelu_backward(x, &grad);
+                }
+                (Block::Relu, BlockStash::Input(x)) => {
+                    grad = ops::relu_backward(x, &grad);
+                }
+                (Block::LayerNorm { gain, .. }, BlockStash::Norm { xhat, inv_std }) => {
+                    // d/dgain, d/dbias, then chain through the normalisation.
+                    let mut dgain = vec![0.0f32; gain.len()];
+                    let dbias = grad.col_sum();
+                    for r in 0..grad.rows {
+                        for c in 0..grad.cols {
+                            dgain[c] += grad.get(r, c) * xhat.get(r, c);
+                        }
+                    }
+                    let mut dxhat = grad.clone();
+                    for r in 0..dxhat.rows {
+                        for c in 0..dxhat.cols {
+                            *dxhat.get_mut(r, c) *= gain[c];
+                        }
+                    }
+                    grad = ops::layernorm_backward(xhat, inv_std, &dxhat);
+                    per_block[i] = BlockGrads::LayerNorm { dgain, dbias };
+                }
+                _ => panic!("block/stash kind mismatch at {i}"),
+            }
+        }
+        (grad, StageGrads { per_block })
+    }
+
+    /// Zero-initialised gradient container matching this stage's shapes.
+    pub fn zero_grads(&self) -> StageGrads {
+        let per_block = self
+            .blocks
+            .iter()
+            .map(|b| match b {
+                Block::Linear { w, b } => BlockGrads::Linear {
+                    dw: Tensor::zeros(w.rows, w.cols),
+                    db: vec![0.0; b.len()],
+                },
+                Block::LayerNorm { gain, bias, .. } => BlockGrads::LayerNorm {
+                    dgain: vec![0.0; gain.len()],
+                    dbias: vec![0.0; bias.len()],
+                },
+                _ => BlockGrads::None,
+            })
+            .collect();
+        StageGrads { per_block }
+    }
+
+    /// Plain SGD update: `θ ← θ - lr · g`.
+    pub fn sgd_step(&mut self, grads: &StageGrads, lr: f32) {
+        assert_eq!(grads.per_block.len(), self.blocks.len());
+        for (block, g) in self.blocks.iter_mut().zip(&grads.per_block) {
+            match (block, g) {
+                (Block::Linear { w, b }, BlockGrads::Linear { dw, db }) => {
+                    w.axpy(-lr, dw);
+                    for (p, d) in b.iter_mut().zip(db) {
+                        *p -= lr * d;
+                    }
+                }
+                (Block::LayerNorm { gain, bias, .. }, BlockGrads::LayerNorm { dgain, dbias }) => {
+                    for (p, d) in gain.iter_mut().zip(dgain) {
+                        *p -= lr * d;
+                    }
+                    for (p, d) in bias.iter_mut().zip(dbias) {
+                        *p -= lr * d;
+                    }
+                }
+                (_, BlockGrads::None) => {}
+                _ => panic!("gradient/block mismatch"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn tiny_stage() -> Stage {
+        Stage::mlp(&mut seeded(42), 6, 2)
+    }
+
+    #[test]
+    fn forward_preserves_width() {
+        let s = tiny_stage();
+        let x = rng::uniform(&mut seeded(1), 3, 6, 1.0);
+        let (y, stash) = s.forward(&x);
+        assert_eq!((y.rows, y.cols), (3, 6));
+        assert_eq!(stash.per_block.len(), s.blocks.len());
+        assert!(stash.bytes() > 0);
+    }
+
+    #[test]
+    fn param_count_matches_structure() {
+        let s = tiny_stage();
+        // 2 × (LayerNorm 6+6 + Linear 36+6 + Gelu 0)
+        assert_eq!(s.param_count(), 2 * (12 + 42));
+    }
+
+    #[test]
+    fn stage_gradcheck_against_finite_differences() {
+        // Scalar objective: sum(dy ⊙ stage(x)); check d/dx.
+        let s = tiny_stage();
+        let x = rng::uniform(&mut seeded(2), 2, 6, 0.8);
+        let dy = rng::uniform(&mut seeded(3), 2, 6, 1.0);
+        let (_, stash) = s.forward(&x);
+        let (dx, _) = s.backward(&stash, &dy);
+        let eps = 1e-2f32;
+        let obj = |xx: &Tensor| -> f32 {
+            let (y, _) = s.forward(xx);
+            y.data.iter().zip(&dy.data).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.data[i] += eps;
+            xm.data[i] -= eps;
+            let fd = (obj(&xp) - obj(&xm)) / (2.0 * eps);
+            assert!(
+                (fd - dx.data[i]).abs() < 3e-2 * (1.0 + fd.abs()),
+                "i={i}: fd={fd} analytic={}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradcheck_one_linear() {
+        // Perturb one weight and compare the objective delta with dw.
+        let mut s = tiny_stage();
+        let x = rng::uniform(&mut seeded(4), 2, 6, 0.5);
+        let dy = rng::uniform(&mut seeded(5), 2, 6, 0.7);
+        let (_, stash) = s.forward(&x);
+        let (_, grads) = s.backward(&stash, &dy);
+        let BlockGrads::Linear { dw, .. } = grads.per_block[1].clone() else {
+            panic!("block 1 should be linear")
+        };
+        let eps = 1e-2f32;
+        let obj = |stage: &Stage| -> f32 {
+            let (y, _) = stage.forward(&x);
+            y.data.iter().zip(&dy.data).map(|(a, b)| a * b).sum()
+        };
+        let base_idx = 7;
+        let Block::Linear { w, .. } = &mut s.blocks[1] else { unreachable!() };
+        w.data[base_idx] += eps;
+        let plus = obj(&s);
+        let Block::Linear { w, .. } = &mut s.blocks[1] else { unreachable!() };
+        w.data[base_idx] -= 2.0 * eps;
+        let minus = obj(&s);
+        let fd = (plus - minus) / (2.0 * eps);
+        assert!(
+            (fd - dw.data[base_idx]).abs() < 3e-2 * (1.0 + fd.abs()),
+            "fd={fd} analytic={}",
+            dw.data[base_idx]
+        );
+    }
+
+    #[test]
+    fn accumulate_is_addition() {
+        let s = tiny_stage();
+        let x = rng::uniform(&mut seeded(6), 2, 6, 0.5);
+        let dy = rng::uniform(&mut seeded(7), 2, 6, 0.5);
+        let (_, stash) = s.forward(&x);
+        let (_, g) = s.backward(&stash, &dy);
+        let mut acc = s.zero_grads();
+        acc.accumulate(&g);
+        acc.accumulate(&g);
+        let mut doubled = g.clone();
+        doubled.scale(2.0);
+        let max_diff = acc
+            .flat()
+            .iter()
+            .zip(doubled.flat())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-6);
+    }
+
+    #[test]
+    fn sgd_reduces_objective() {
+        let mut s = tiny_stage();
+        let x = rng::uniform(&mut seeded(8), 4, 6, 0.5);
+        let target = rng::uniform(&mut seeded(9), 4, 6, 0.5);
+        let loss_of = |stage: &Stage| {
+            let (y, _) = stage.forward(&x);
+            let mut diff = y.clone();
+            diff.axpy(-1.0, &target);
+            diff.norm()
+        };
+        let before = loss_of(&s);
+        for _ in 0..20 {
+            let (y, stash) = s.forward(&x);
+            let mut dy = y.clone();
+            dy.axpy(-1.0, &target);
+            dy.scale(2.0 / y.len() as f32);
+            let (_, grads) = s.backward(&stash, &dy);
+            s.sgd_step(&grads, 0.05);
+        }
+        let after = loss_of(&s);
+        assert!(after < before, "loss did not go down: {before} -> {after}");
+    }
+
+    #[test]
+    fn identity_stage_passes_through() {
+        let s = Stage::identity();
+        let x = rng::uniform(&mut seeded(10), 2, 4, 1.0);
+        let (y, stash) = s.forward(&x);
+        assert_eq!(y, x);
+        let (dx, grads) = s.backward(&stash, &x);
+        assert_eq!(dx, x);
+        assert!(grads.per_block.is_empty());
+    }
+}

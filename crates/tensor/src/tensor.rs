@@ -1,0 +1,219 @@
+//! The dense row-major f32 matrix at the bottom of everything.
+
+use rayon::prelude::*;
+use std::fmt;
+
+/// Row-major 2-D f32 tensor. Rows are samples (the micro-batch dimension),
+/// columns are features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// `rows * cols` values, row-major.
+    pub data: Vec<f32>,
+}
+
+/// Below this element count, parallel matmul overhead outweighs the win.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector (length must match).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Matrix product `self × other` (`[m,k] × [k,n] → [m,n]`).
+    ///
+    /// The inner loop is the cache-friendly `ikj` order; large products
+    /// parallelise over output rows (disjoint writes, deterministic
+    /// per-element reduction order).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+
+        let row_job = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (p, &a) in a_row.iter().enumerate() {
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if m * n >= PAR_THRESHOLD {
+            out.par_chunks_mut(n).enumerate().for_each(row_job);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(row_job);
+        }
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *out.get_mut(c, r) = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale every element.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of column `c` over all rows (used for bias gradients).
+    pub fn col_sum(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Max absolute difference to another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Force one product over and one under the threshold with the same
+        // math: identity times X is X.
+        let n = 80;
+        let mut eye = Tensor::zeros(n, n);
+        for i in 0..n {
+            *eye.get_mut(i, i) = 1.0;
+        }
+        let x = Tensor::from_vec(n, n, (0..n * n).map(|i| (i % 97) as f32 * 0.1).collect());
+        assert_eq!(eye.matmul(&x).data, x.data);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![10., 10., 10.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data, vec![6., 7., 8.]);
+        a.scale(2.0);
+        assert_eq!(a.data, vec![12., 14., 16.]);
+    }
+
+    #[test]
+    fn col_sum_sums_rows() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(a.col_sum(), vec![4., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn norm_and_diff() {
+        let a = Tensor::from_vec(1, 2, vec![3., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = Tensor::from_vec(1, 2, vec![3., 4.5]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's adaptability experiment (§5.2) as an interactive sweep:
+//! every method on all four clusters, reporting throughput, bubble ratio,
+//! memory and the best Hanayo wave count per environment.
+//!
+//! ```text
+//! cargo run --release --example adaptability_sweep
+//! ```
+
+use hanayo::cluster::topology::paper_clusters;
+use hanayo::model::ModelConfig;
+use hanayo::sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
+
+fn main() {
+    let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+    let methods = [
+        Method::GPipe,
+        Method::Dapple,
+        Method::ChimeraWave,
+        Method::Hanayo { waves: 2 },
+        Method::Hanayo { waves: 4 },
+        Method::Hanayo { waves: 8 },
+    ];
+
+    println!("BERT-style model, 8 GPUs per cluster, B = 8 micro-batches (D=1, P=8)\n");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "G", "D", "C", "H-2", "H-4", "H-8"
+    );
+    for cluster in paper_clusters(8) {
+        print!("{:<6}", cluster.name);
+        for method in methods {
+            let plan = ParallelPlan {
+                method,
+                dp: 1,
+                pp: 8,
+                micro_batches: 8,
+                micro_batch_size: 1,
+            };
+            match evaluate_plan(&plan, &model, &cluster, SimOptions::default()) {
+                Ok(r) if !r.is_oom() => print!(" {:>8.2}", r.throughput),
+                Ok(_) => print!(" {:>8}", "OOM"),
+                Err(_) => print!(" {:>8}", "n/a"),
+            }
+        }
+        println!();
+    }
+
+    println!("\nBest wave count per cluster (the §5.2 observation — slower");
+    println!("interconnects prefer fewer waves):\n");
+    for cluster in paper_clusters(8) {
+        let best = [1u32, 2, 4, 8]
+            .into_iter()
+            .filter_map(|w| {
+                let plan = ParallelPlan {
+                    method: Method::Hanayo { waves: w },
+                    dp: 1,
+                    pp: 8,
+                    micro_batches: 8,
+                    micro_batch_size: 1,
+                };
+                evaluate_plan(&plan, &model, &cluster, SimOptions::default())
+                    .ok()
+                    .filter(|r| !r.is_oom())
+                    .map(|r| (w, r.throughput))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((w, t)) = best {
+            println!("  {:<6}: W = {w} at {t:.2} sequences/s", cluster.name);
+        }
+    }
+}

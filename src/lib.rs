@@ -1,0 +1,46 @@
+//! # hanayo
+//!
+//! A full Rust reproduction of *"Hanayo: Harnessing Wave-like Pipeline
+//! Parallelism for Enhanced Large Model Training Efficiency"* (Liu, Cheng,
+//! Zhou & You, SC '23).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — schedule IR, the Hanayo wave scheduler and every baseline
+//!   (GPipe, DAPPLE, interleaved 1F1B, Chimera), validation, analytic
+//!   bubble/memory models, Gantt rendering.
+//! * [`tensor`] — the dense-f32 math substrate with hand-written backward
+//!   passes.
+//! * [`model`] — BERT/GPT cost & memory models and CPU micro-models.
+//! * [`cluster`] — the four evaluation clusters (PC, FC, TACC, TC).
+//! * [`sim`] — the discrete-event execution engine and `D×P` plans.
+//! * [`runtime`] — the threaded action-list runtime with bit-exact
+//!   gradient equivalence.
+//! * [`repro`] — regeneration of every figure in the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hanayo::core::config::{PipelineConfig, Scheme};
+//! use hanayo::core::schedule::build_schedule;
+//! use hanayo::cluster::topology::fc_full_nvlink;
+//! use hanayo::model::{CostTable, ModelConfig};
+//! use hanayo::sim::{simulate, SimOptions};
+//!
+//! // A 2-wave Hanayo pipeline on 8 devices, 8 micro-batches.
+//! let cfg = PipelineConfig::new(8, 8, Scheme::Hanayo { waves: 2 }).unwrap();
+//! let schedule = build_schedule(&cfg).unwrap();
+//!
+//! // Execute it on a simulated NVSwitch box training the BERT-style model.
+//! let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+//! let report = simulate(&schedule, &cost, &fc_full_nvlink(8), SimOptions::default());
+//! assert!(report.bubble_ratio < 0.3);
+//! ```
+
+pub use hanayo_cluster as cluster;
+pub use hanayo_core as core;
+pub use hanayo_model as model;
+pub use hanayo_repro as repro;
+pub use hanayo_runtime as runtime;
+pub use hanayo_sim as sim;
+pub use hanayo_tensor as tensor;

@@ -1,0 +1,51 @@
+//! The paper's headline quantitative claims, asserted end-to-end against
+//! the reproduction (the per-figure details live in `hanayo-repro`'s unit
+//! tests; these are the top-line numbers a reader would quote).
+
+use hanayo::core::analysis::bubble;
+use hanayo::core::analysis::CostTerms;
+use hanayo::repro::{fig11, fig12, fig9};
+
+#[test]
+fn abstract_bubble_ratio_drops_sharply_with_waves() {
+    // §3.4: "(2P-2)/(3PW+P-1) decreases with an increasing number of waves".
+    let c = CostTerms::paper_default();
+    let h2 = bubble::hanayo_eq1(32, 2, &c);
+    let h8 = bubble::hanayo_eq1(32, 8, &c);
+    assert!(h8 < h2 / 2.0, "H-8 {h8} vs H-2 {h2}");
+}
+
+#[test]
+fn headline_up_to_30_percent_over_chimera() {
+    // Abstract: "up to a 30.4% increase in throughput compared to the
+    // state-of-the-art approach". Require the best observed improvement
+    // across the eight Fig. 9 settings to reach at least 20%.
+    let best = fig9::hanayo_over_chimera()
+        .into_iter()
+        .map(|(_, pct)| pct)
+        .fold(f64::MIN, f64::max);
+    assert!(best >= 20.0, "best improvement over Chimera only {best:.1}%");
+}
+
+#[test]
+fn weak_scaling_efficiency_near_perfect() {
+    // §5.4: parallel efficiency "100.1% and 99.8%".
+    let bars = fig11::data();
+    for (p, eff) in fig11::hanayo_efficiency(&bars) {
+        assert!(eff > 0.90, "P={p}: efficiency {:.1}%", 100.0 * eff);
+    }
+}
+
+#[test]
+fn strong_scaling_monotone_and_oom_pattern() {
+    // §5.5: Hanayo handles the fixed batch at every scale; GPipe cannot at
+    // 8 GPUs; speedups grow with devices.
+    let bars = fig12::data();
+    let gpipe8 = bars
+        .iter()
+        .find(|b| b.devices == 8 && b.method.starts_with("GPipe"))
+        .unwrap();
+    assert!(gpipe8.throughput.is_none());
+    let speedups = fig12::hanayo_speedups(&bars);
+    assert!(speedups[0].1 > 100.0 && speedups[1].1 > speedups[0].1);
+}

@@ -1,0 +1,161 @@
+//! The correctness contract: every synchronous schedule, executed by the
+//! threaded runtime, reproduces sequential training bit for bit — across
+//! schemes, shapes, losses and data-parallel replication.
+
+use hanayo::core::config::{PipelineConfig, Scheme};
+use hanayo::core::schedule::build_schedule;
+use hanayo::model::builders::MicroModel;
+use hanayo::runtime::trainer::{
+    sequential_reference, synthetic_data, train, train_data_parallel, TrainerConfig,
+};
+use hanayo::runtime::LossKind;
+use hanayo::tensor::Tensor;
+
+fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
+    let cfg = PipelineConfig::new(p, b, scheme).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let s = schedule.stage_map.stages;
+    let model = MicroModel { width: 10, total_blocks: s as usize, seed: 99 };
+    let trainer = TrainerConfig {
+        schedule,
+        stages: model.build_stages(s),
+        lr: 0.03,
+        loss: LossKind::Mse,
+    };
+    let data = synthetic_data(5, iterations, b as usize, 3, 10);
+    let out = train(&trainer, &data);
+    let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
+    assert_eq!(out.stages, seq.stages, "{scheme} P={p} B={b}: weights diverged");
+    assert_eq!(out.losses, seq.losses, "{scheme} P={p} B={b}: losses diverged");
+}
+
+#[test]
+fn gpipe_matches_sequential() {
+    run_case(3, 5, Scheme::GPipe, 2);
+}
+
+#[test]
+fn dapple_matches_sequential() {
+    run_case(4, 6, Scheme::Dapple, 2);
+}
+
+#[test]
+fn interleaved_matches_sequential() {
+    run_case(2, 4, Scheme::Interleaved { chunks: 2 }, 2);
+}
+
+#[test]
+fn hanayo_one_wave_matches_sequential() {
+    run_case(3, 3, Scheme::Hanayo { waves: 1 }, 2);
+}
+
+#[test]
+fn hanayo_two_waves_matches_sequential() {
+    run_case(2, 6, Scheme::Hanayo { waves: 2 }, 2);
+}
+
+#[test]
+fn hanayo_b_less_than_p() {
+    run_case(4, 2, Scheme::Hanayo { waves: 1 }, 1);
+}
+
+#[test]
+fn cross_entropy_loss_matches_sequential() {
+    let cfg = PipelineConfig::new(2, 3, Scheme::Hanayo { waves: 1 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let s = schedule.stage_map.stages;
+    let model = MicroModel { width: 6, total_blocks: s as usize, seed: 3 };
+    let labels = vec![vec![0usize, 2, 4], vec![1, 1, 3], vec![5, 0, 2]];
+    let trainer = TrainerConfig {
+        schedule,
+        stages: model.build_stages(s),
+        lr: 0.05,
+        loss: LossKind::CrossEntropy { labels },
+    };
+    let mut data = synthetic_data(8, 1, 3, 3, 6);
+    // Targets are unused by cross-entropy but must exist shape-wise.
+    for d in &mut data {
+        d.targets = vec![Tensor::zeros(3, 6); 3];
+    }
+    let out = train(&trainer, &data);
+    let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
+    assert_eq!(out.stages, seq.stages);
+}
+
+#[test]
+fn all_schemes_agree_with_each_other_on_one_model() {
+    // One 12-block model partitioned per scheme: the trained weights must
+    // be identical across every synchronous schedule.
+    let b = 4;
+    let data = synthetic_data(17, 2, b as usize, 2, 8);
+    let mut reference: Option<Vec<f32>> = None;
+    for scheme in [
+        Scheme::GPipe,
+        Scheme::Dapple,
+        Scheme::Hanayo { waves: 1 },
+        Scheme::Hanayo { waves: 3 },
+    ] {
+        let cfg = PipelineConfig::new(2, b, scheme).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let s = schedule.stage_map.stages;
+        let model = MicroModel { width: 8, total_blocks: 12, seed: 1 };
+        let trainer = TrainerConfig {
+            schedule,
+            stages: model.build_stages(s),
+            lr: 0.02,
+            loss: LossKind::Mse,
+        };
+        let out = train(&trainer, &data);
+        let params: Vec<f32> = out.stages.iter().flat_map(|st| st.flat_params()).collect();
+        match &reference {
+            None => reference = Some(params),
+            Some(r) => assert_eq!(r, &params, "{scheme} disagrees"),
+        }
+    }
+}
+
+#[test]
+fn data_parallel_hanayo_trains_and_replicates() {
+    let cfg = PipelineConfig::new(2, 2, Scheme::Hanayo { waves: 2 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let s = schedule.stage_map.stages;
+    let model = MicroModel { width: 8, total_blocks: s as usize, seed: 21 };
+    let trainer = TrainerConfig {
+        schedule,
+        stages: model.build_stages(s),
+        lr: 0.05,
+        loss: LossKind::Mse,
+    };
+    let shards = vec![synthetic_data(31, 2, 2, 2, 8), synthetic_data(32, 2, 2, 2, 8)];
+    let a = train_data_parallel(&trainer, &shards);
+    let b2 = train_data_parallel(&trainer, &shards);
+    assert_eq!(a.stages, b2.stages, "DP training must be deterministic");
+}
+
+#[test]
+fn pipeline_stash_respects_schedule_shape() {
+    // GPipe stashes more than DAPPLE on the head device for B > P.
+    let b = 6;
+    let make = |scheme| {
+        let cfg = PipelineConfig::new(2, b, scheme).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let s = schedule.stage_map.stages;
+        let model = MicroModel { width: 8, total_blocks: 8, seed: 9 };
+        let trainer = TrainerConfig {
+            schedule,
+            stages: model.build_stages(s),
+            lr: 0.05,
+            loss: LossKind::Mse,
+        };
+        let data = synthetic_data(4, 1, b as usize, 2, 8);
+        train(&trainer, &data)
+    };
+    let g = make(Scheme::GPipe);
+    let d = make(Scheme::Dapple);
+    assert!(
+        g.peak_stash_bytes[0] > d.peak_stash_bytes[0],
+        "GPipe head stash {} vs DAPPLE {}",
+        g.peak_stash_bytes[0],
+        d.peak_stash_bytes[0]
+    );
+}
