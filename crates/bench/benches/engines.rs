@@ -31,9 +31,7 @@ fn bench_scheduling(c: &mut Criterion) {
         b.iter(|| validate(black_box(&schedule)).unwrap())
     });
     let cs = build_compute_schedule(&cfg).unwrap();
-    g.bench_function("abstract_replay", |b| {
-        b.iter(|| black_box(replay_timeline(&cs, 1, 2, 0)))
-    });
+    g.bench_function("abstract_replay", |b| b.iter(|| black_box(replay_timeline(&cs, 1, 2, 0))));
     g.bench_function("unit_memory_profile", |b| b.iter(|| black_box(unit_profile(&cs))));
     g.finish();
 }
@@ -68,9 +66,7 @@ fn bench_tensor(c: &mut Criterion) {
     g.bench_function("stage_forward", |b| b.iter(|| black_box(stage.forward(&x))));
     let (_, stash) = stage.forward(&x);
     let dy = uniform(&mut seeded(5), 8, 32, 0.5);
-    g.bench_function("stage_backward", |b| {
-        b.iter(|| black_box(stage.backward(&stash, &dy)))
-    });
+    g.bench_function("stage_backward", |b| b.iter(|| black_box(stage.backward(&stash, &dy))));
     g.finish();
 }
 
@@ -90,9 +86,17 @@ fn bench_extensions(c: &mut Criterion) {
         let schedule = build_schedule(&cfg).unwrap();
         let cluster = lonestar6(8);
         let plain = CostTable::build_with(
-            &ModelConfig::bert64(), cfg.stages(), 2, hanayo_model::Recompute::None);
+            &ModelConfig::bert64(),
+            cfg.stages(),
+            2,
+            hanayo_model::Recompute::None,
+        );
         let ckpt = CostTable::build_with(
-            &ModelConfig::bert64(), cfg.stages(), 2, hanayo_model::Recompute::Full);
+            &ModelConfig::bert64(),
+            cfg.stages(),
+            2,
+            hanayo_model::Recompute::Full,
+        );
         b.iter(|| {
             (
                 black_box(simulate(&schedule, &plain, &cluster, SimOptions::default())),
@@ -110,18 +114,19 @@ fn bench_runtime(c: &mut Criterion) {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 5 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-    };
+    let trainer =
+        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.05, loss: LossKind::Mse };
     let data = synthetic_data(6, 1, 4, 2, 8);
-    g.bench_function("threaded_iteration_p2_b4", |b| {
-        b.iter(|| black_box(train(&trainer, &data)))
-    });
+    g.bench_function("threaded_iteration_p2_b4", |b| b.iter(|| black_box(train(&trainer, &data))));
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduling, bench_simulator, bench_tensor, bench_extensions, bench_runtime);
+criterion_group!(
+    benches,
+    bench_scheduling,
+    bench_simulator,
+    bench_tensor,
+    bench_extensions,
+    bench_runtime
+);
 criterion_main!(benches);

@@ -23,7 +23,9 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig2_comparison_table", |b| b.iter(|| black_box(repro::fig2::data())));
     g.bench_function("fig3_schedule_panels", |b| b.iter(|| black_box(repro::fig3::data())));
     g.bench_function("fig4_sync_vs_async", |b| {
-        b.iter(|| (black_box(repro::fig4::sync_timeline()), black_box(repro::fig4::async_timeline())))
+        b.iter(|| {
+            (black_box(repro::fig4::sync_timeline()), black_box(repro::fig4::async_timeline()))
+        })
     });
     g.bench_function("fig5_transformation", |b| b.iter(|| black_box(repro::fig5::data().1)));
     g.bench_function("fig6_wave_scaling", |b| b.iter(|| black_box(repro::fig6::data())));
@@ -37,19 +39,11 @@ fn bench_figures(c: &mut Criterion) {
         let cluster = lonestar6(32);
         b.iter(|| {
             let mut out = Vec::new();
-            for method in [
-                Method::GPipe,
-                Method::Dapple,
-                Method::ChimeraWave,
-                Method::Hanayo { waves: 2 },
-            ] {
-                let plan = ParallelPlan {
-                    method,
-                    dp: 4,
-                    pp: 8,
-                    micro_batches: 8,
-                    micro_batch_size: 3,
-                };
+            for method in
+                [Method::GPipe, Method::Dapple, Method::ChimeraWave, Method::Hanayo { waves: 2 }]
+            {
+                let plan =
+                    ParallelPlan { method, dp: 4, pp: 8, micro_batches: 8, micro_batch_size: 3 };
                 out.push(evaluate_plan(&plan, &model, &cluster, SimOptions::default()));
             }
             black_box(out)

@@ -57,10 +57,8 @@ impl ClusterSpec {
     pub fn select(&self, subset: &[usize]) -> ClusterSpec {
         let gpus = subset.iter().map(|&i| self.gpus[i]).collect();
         let node = subset.iter().map(|&i| self.node[i]).collect();
-        let links = subset
-            .iter()
-            .map(|&a| subset.iter().map(|&b| self.links[a][b]).collect())
-            .collect();
+        let links =
+            subset.iter().map(|&a| subset.iter().map(|&b| self.links[a][b]).collect()).collect();
         ClusterSpec { name: self.name.clone(), gpus, node, links, mfu: self.mfu }
     }
 
@@ -86,19 +84,20 @@ impl ClusterSpec {
         mfu: f64,
     ) -> ClusterSpec {
         let n = gpus.len();
-        let links = (0..n)
-            .map(|a| {
-                (0..n)
-                    .map(|b| {
-                        if a == b {
-                            Link::of(LinkClass::Local)
-                        } else {
-                            Link::of(class_of(a, b))
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let links =
+            (0..n)
+                .map(|a| {
+                    (0..n)
+                        .map(|b| {
+                            if a == b {
+                                Link::of(LinkClass::Local)
+                            } else {
+                                Link::of(class_of(a, b))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
         ClusterSpec { name: name.to_string(), gpus, node, links, mfu }
     }
 }
@@ -173,7 +172,13 @@ pub fn pc_partial_nvlink(n: usize) -> ClusterSpec {
 
 /// Local cluster "FC": 8× A100-80GB fully connected via NVSwitch.
 pub fn fc_full_nvlink(n: usize) -> ClusterSpec {
-    ClusterSpec::build("FC", vec![GpuModel::A100_80G; n], vec![0; n], |_, _| LinkClass::NvLink3, 0.45)
+    ClusterSpec::build(
+        "FC",
+        vec![GpuModel::A100_80G; n],
+        vec![0; n],
+        |_, _| LinkClass::NvLink3,
+        0.45,
+    )
 }
 
 /// The four paper clusters at a given GPU count, in figure order

@@ -179,9 +179,7 @@ impl Schedule {
 
     /// Iterate `(device, action)` pairs in list order.
     pub fn iter_actions(&self) -> impl Iterator<Item = (DeviceId, &Action)> {
-        self.lists
-            .iter()
-            .flat_map(|l| l.actions.iter().map(move |a| (l.device, a)))
+        self.lists.iter().flat_map(|l| l.actions.iter().map(move |a| (l.device, a)))
     }
 }
 
@@ -217,9 +215,7 @@ mod tests {
         assert_eq!(Action::Comm(op).comm_ops().len(), 1);
         assert_eq!(Action::BatchedComm(vec![op, op]).comm_ops().len(), 2);
         assert!(Action::OptimizerStep.comm_ops().is_empty());
-        assert!(Action::Forward { mb: MicroBatch(0), stage: StageId(0) }
-            .comm_ops()
-            .is_empty());
+        assert!(Action::Forward { mb: MicroBatch(0), stage: StageId(0) }.comm_ops().is_empty());
     }
 
     #[test]

@@ -134,10 +134,7 @@ mod tests {
             for w in [1u32, 2, 4, 8] {
                 let full = hanayo_eq1(p, w, &c);
                 let simple = hanayo_simplified(p, w);
-                assert!(
-                    (full - simple).abs() < 1e-9,
-                    "P={p} W={w}: {full} vs {simple}"
-                );
+                assert!((full - simple).abs() < 1e-9, "P={p} W={w}: {full} vs {simple}");
             }
         }
     }
@@ -185,8 +182,7 @@ mod tests {
         // poor interconnects", §5.2 — is asserted on the time model in
         // perf_model, since the *ratio* normalises it away.)
         let t_c = 0.5;
-        let comm_bubble =
-            |p: f64, w: f64| (1.0 + 2.0 * w + 2.0 / p + (p - 2.0) / 3.0) * t_c;
+        let comm_bubble = |p: f64, w: f64| (1.0 + 2.0 * w + 2.0 / p + (p - 2.0) / 3.0) * t_c;
         assert!(comm_bubble(8.0, 8.0) > comm_bubble(8.0, 2.0));
         assert!(comm_bubble(8.0, 4.0) > comm_bubble(8.0, 1.0));
     }

@@ -2,14 +2,17 @@
 //! memory per scheme, side by side.
 
 use super::{bubble, CostTerms};
+use crate::config::PipelineConfig;
 use crate::config::Scheme;
 use crate::memory;
 use crate::schedule::build_compute_schedule;
-use crate::config::PipelineConfig;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One row of the Fig. 2 table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: `bubble_formula` borrows a `'static` documentation
+/// string, which cannot be deserialized from owned JSON text.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ComparisonRow {
     /// Scheme name.
     pub scheme: String,

@@ -26,8 +26,7 @@ pub fn ramp_time(scheme: Scheme, p: u32, c: &CostTerms) -> f64 {
         Scheme::Interleaved { chunks } => {
             // Each chunk is 1/chunks of a stage: the ramp shrinks v-fold but
             // every stage boundary now communicates.
-            (pf - 1.0) * (c.t_f + c.t_b) / chunks as f64
-                + 2.0 * (pf - 1.0) * c.t_c * chunks as f64
+            (pf - 1.0) * (c.t_f + c.t_b) / chunks as f64 + 2.0 * (pf - 1.0) * c.t_c * chunks as f64
         }
         Scheme::Chimera => (pf / 2.0 - 1.0) * (c.t_f + c.t_b) + (pf - 2.0) * c.t_c,
         Scheme::Hanayo { waves } => {

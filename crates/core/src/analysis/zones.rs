@@ -36,9 +36,8 @@ pub struct ZoneSizes {
 pub fn analytic_zones(p: u32, w: u32, c: &CostTerms) -> ZoneSizes {
     let (pf, wf) = (p as f64, w as f64);
     let zone_a = c.t_f / (2.0 * wf) + c.t_c;
-    let zone_b = (0..p)
-        .map(|lr| (pf - lr as f64) / (2.0 * wf) * (c.t_b - c.t_f) + 2.0 * c.t_c)
-        .collect();
+    let zone_b =
+        (0..p).map(|lr| (pf - lr as f64) / (2.0 * wf) * (c.t_b - c.t_f) + 2.0 * c.t_c).collect();
     let zone_c = (c.t_b + 2.0 * c.t_c, c.t_b + c.t_c);
     let cross_comm = (pf - 2.0) / 3.0 * c.t_c;
     ZoneSizes { zone_a, zone_b, zone_c, cross_comm }

@@ -62,10 +62,7 @@ fn emit_run(run: &mut Vec<CommOp>, out: &mut Vec<Action>) {
         return;
     }
     let cross = run.iter().any(|a| {
-        a.dir == CommDir::Send
-            && run
-                .iter()
-                .any(|b| b.dir == CommDir::Recv && b.peer == a.peer)
+        a.dir == CommDir::Send && run.iter().any(|b| b.dir == CommDir::Recv && b.peer == a.peer)
     });
     if cross && run.len() > 1 {
         out.push(Action::BatchedComm(std::mem::take(run)));
@@ -187,10 +184,7 @@ mod tests {
         // Hanayo with ≥1 wave on ≥4 devices must batch at least one
         // bidirectional exchange (the §4.2 deadlock-avoidance case).
         let s = lowered(4, 4, Scheme::Hanayo { waves: 2 });
-        let batches = s
-            .iter_actions()
-            .filter(|(_, a)| matches!(a, Action::BatchedComm(_)))
-            .count();
+        let batches = s.iter_actions().filter(|(_, a)| matches!(a, Action::BatchedComm(_))).count();
         assert!(batches > 0, "expected cross-communication batches");
     }
 

@@ -140,9 +140,10 @@ impl PipelineConfig {
         }
         match self.scheme {
             Scheme::Chimera
-                if (!self.devices.is_multiple_of(2) || !self.micro_batches.is_multiple_of(2)) => {
-                    return Err(ConfigError::ChimeraNeedsEvenSplit);
-                }
+                if (!self.devices.is_multiple_of(2) || !self.micro_batches.is_multiple_of(2)) =>
+            {
+                return Err(ConfigError::ChimeraNeedsEvenSplit);
+            }
             Scheme::Hanayo { waves: 0 } | Scheme::Interleaved { chunks: 0 } => {
                 return Err(ConfigError::ZeroSubdivision)
             }
@@ -201,14 +202,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert_eq!(
-            PipelineConfig::new(0, 4, Scheme::GPipe).unwrap_err(),
-            ConfigError::Empty
-        );
-        assert_eq!(
-            PipelineConfig::new(4, 0, Scheme::GPipe).unwrap_err(),
-            ConfigError::Empty
-        );
+        assert_eq!(PipelineConfig::new(0, 4, Scheme::GPipe).unwrap_err(), ConfigError::Empty);
+        assert_eq!(PipelineConfig::new(4, 0, Scheme::GPipe).unwrap_err(), ConfigError::Empty);
         assert_eq!(
             PipelineConfig::new(3, 4, Scheme::Chimera).unwrap_err(),
             ConfigError::ChimeraNeedsEvenSplit

@@ -44,21 +44,13 @@ impl Timeline {
             return 0.0;
         }
         let total = self.makespan * self.spans.len() as u64;
-        let busy: u64 = self
-            .spans
-            .iter()
-            .flat_map(|s| s.iter())
-            .map(|s| s.end - s.start)
-            .sum();
+        let busy: u64 = self.spans.iter().flat_map(|s| s.iter()).map(|s| s.end - s.start).sum();
         1.0 - busy as f64 / total as f64
     }
 
     /// Busy ticks per device.
     pub fn busy_per_device(&self) -> Vec<u64> {
-        self.spans
-            .iter()
-            .map(|s| s.iter().map(|x| x.end - x.start).sum())
-            .collect()
+        self.spans.iter().map(|s| s.iter().map(|x| x.end - x.start).sum()).collect()
     }
 }
 
@@ -67,12 +59,7 @@ impl Timeline {
 /// `f_cost`/`b_cost` are per stage-chunk; `comm_cost` is charged on every
 /// cross-device dependency edge (a simple `T_C` model — the full link-level
 /// model lives in `hanayo-sim`).
-pub fn replay_timeline(
-    cs: &ComputeSchedule,
-    f_cost: u64,
-    b_cost: u64,
-    comm_cost: u64,
-) -> Timeline {
+pub fn replay_timeline(cs: &ComputeSchedule, f_cost: u64, b_cost: u64, comm_cost: u64) -> Timeline {
     let s = cs.stage_map.stages;
     let n = cs.per_device.len();
     let mut pc = vec![0usize; n];
@@ -145,11 +132,7 @@ pub fn render(tl: &Timeline) -> String {
         let mut row = vec!['.'; width];
         for span in spans {
             let ch = block_char(span.op.mb.0, span.op.backward);
-            for cell in row
-                .iter_mut()
-                .take(span.end as usize)
-                .skip(span.start as usize)
-            {
+            for cell in row.iter_mut().take(span.end as usize).skip(span.start as usize) {
                 *cell = ch;
             }
         }

@@ -35,11 +35,7 @@ impl UnitMemoryProfile {
     /// of a scheme to fit within a certain cluster is often determined by
     /// the highest peak memory" (§5.1).
     pub fn highest_peak(&self) -> f64 {
-        self.mw_units
-            .iter()
-            .zip(&self.ma_peak_units)
-            .map(|(w, a)| w + a)
-            .fold(0.0, f64::max)
+        self.mw_units.iter().zip(&self.ma_peak_units).map(|(w, a)| w + a).fold(0.0, f64::max)
     }
 }
 
@@ -54,12 +50,8 @@ pub fn unit_profile(cs: &ComputeSchedule) -> UnitMemoryProfile {
     let s = cs.stage_map.stages as f64;
     let chunk = p / s;
 
-    let mw_units: Vec<f64> = cs
-        .stage_map
-        .stages_held()
-        .iter()
-        .map(|&held| held as f64 * chunk)
-        .collect();
+    let mw_units: Vec<f64> =
+        cs.stage_map.stages_held().iter().map(|&held| held as f64 * chunk).collect();
 
     let mut ma_peak_units = Vec::with_capacity(cs.per_device.len());
     for ops in &cs.per_device {
@@ -77,11 +69,7 @@ pub fn unit_profile(cs: &ComputeSchedule) -> UnitMemoryProfile {
         ma_peak_units.push(peak);
     }
 
-    let totals: Vec<f64> = mw_units
-        .iter()
-        .zip(&ma_peak_units)
-        .map(|(w, a)| w + a)
-        .collect();
+    let totals: Vec<f64> = mw_units.iter().zip(&ma_peak_units).map(|(w, a)| w + a).collect();
     let mean_total = totals.iter().sum::<f64>() / totals.len() as f64;
     let variance_total =
         totals.iter().map(|t| (t - mean_total).powi(2)).sum::<f64>() / totals.len() as f64;
@@ -152,10 +140,7 @@ mod tests {
         // the ordering must already hold at small scale.
         let h = profile(8, 8, Scheme::Hanayo { waves: 2 });
         let d = profile(8, 8, Scheme::Dapple);
-        assert!(
-            h.variance_total < d.variance_total,
-            "hanayo {h:?} vs dapple {d:?}"
-        );
+        assert!(h.variance_total < d.variance_total, "hanayo {h:?} vs dapple {d:?}");
     }
 
     #[test]

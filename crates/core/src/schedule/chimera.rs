@@ -20,11 +20,8 @@ use crate::stage_map::StageMap;
 pub fn generate(cfg: &PipelineConfig) -> Result<ComputeSchedule, ScheduleError> {
     let map = StageMap::for_config(cfg);
     let cap = (cfg.devices / 2).max(1);
-    let params = ListParams {
-        cap: Some(cap),
-        retire: RetireRule::ForwardComplete,
-        ..Default::default()
-    };
+    let params =
+        ListParams { cap: Some(cap), retire: RetireRule::ForwardComplete, ..Default::default() };
     list_schedule(cfg, map, params)
 }
 
@@ -62,10 +59,7 @@ mod tests {
         let cs = gen(4, 4);
         let map = &cs.stage_map;
         // mb2 (up pipe) stage 1 runs on device 2.
-        assert_eq!(
-            map.device_of(crate::ids::MicroBatch(2), crate::ids::StageId(1)),
-            DeviceId(2)
-        );
+        assert_eq!(map.device_of(crate::ids::MicroBatch(2), crate::ids::StageId(1)), DeviceId(2));
     }
 
     #[test]

@@ -135,7 +135,11 @@ mod tests {
         validate(&s).unwrap();
         // No communication at all.
         for (_, a) in s.iter_actions() {
-            assert!(a.comm_ops().is_empty() || a.is_compute() || a == &crate::action::Action::OptimizerStep);
+            assert!(
+                a.comm_ops().is_empty()
+                    || a.is_compute()
+                    || a == &crate::action::Action::OptimizerStep
+            );
         }
     }
 

@@ -85,10 +85,7 @@ mod tests {
                         peak = peak.max(live);
                     }
                 }
-                assert!(
-                    peak as u32 <= (p - d as u32).min(b),
-                    "P={p} B={b} d={d} peak={peak}"
-                );
+                assert!(peak as u32 <= (p - d as u32).min(b), "P={p} B={b} d={d} peak={peak}");
             }
         }
     }

@@ -13,9 +13,8 @@ use crate::stage_map::StageMap;
 pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
     let map = StageMap::for_config(cfg);
     let b = cfg.micro_batches;
-    let mut per_device: Vec<Vec<ComputeOp>> = (0..cfg.devices)
-        .map(|_| Vec::with_capacity(2 * b as usize))
-        .collect();
+    let mut per_device: Vec<Vec<ComputeOp>> =
+        (0..cfg.devices).map(|_| Vec::with_capacity(2 * b as usize)).collect();
     // Stage d lives on device d; forwards in micro-batch order...
     for d in 0..cfg.devices {
         for m in 0..b {

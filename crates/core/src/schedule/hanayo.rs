@@ -78,10 +78,6 @@ mod tests {
         let last_fwd =
             d0.iter().position(|o| o.mb.0 == 0 && o.stage.0 == s - 1 && !o.backward).unwrap();
         let first_bwd = d0.iter().position(|o| o.backward).unwrap();
-        assert_eq!(
-            first_bwd,
-            last_fwd + 1,
-            "device 0 should turn mb0 around immediately: {d0:?}"
-        );
+        assert_eq!(first_bwd, last_fwd + 1, "device 0 should turn mb0 around immediately: {d0:?}");
     }
 }

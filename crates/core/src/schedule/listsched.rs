@@ -205,10 +205,7 @@ impl<'a> Engine<'a> {
             let cost = if op.backward { self.params.b_cost } else { self.params.f_cost };
             self.busy[d] = true;
             self.order[d].push(op);
-            self.push_event(
-                now + cost.max(1),
-                EventKind::DeviceDone { device: d as u32, mb, pos },
-            );
+            self.push_event(now + cost.max(1), EventKind::DeviceDone { device: d as u32, mb, pos });
         }
     }
 }
@@ -344,11 +341,7 @@ mod tests {
         let last_bwd =
             |m: u32| dev0.iter().position(|o| o.mb.0 == m && o.pos(s) == 2 * s - 1).unwrap();
         for m in 2..8 {
-            assert!(
-                first_fwd(m) > last_bwd(m - 2),
-                "mb{m} admitted before mb{} retired",
-                m - 2
-            );
+            assert!(first_fwd(m) > last_bwd(m - 2), "mb{m} admitted before mb{} retired", m - 2);
         }
     }
 
@@ -362,18 +355,11 @@ mod tests {
         let p = 8;
         let run = |retire: RetireRule| {
             let (cfg, map) = hanayo_cfg(p, 4 * p, 2);
-            let cs = list_schedule(
-                &cfg,
-                map,
-                ListParams { cap: Some(p), retire, ..Default::default() },
-            )
-            .unwrap();
+            let cs =
+                list_schedule(&cfg, map, ListParams { cap: Some(p), retire, ..Default::default() })
+                    .unwrap();
             let bubble = replay_timeline(&cs, 1, 2, 0).bubble_ratio();
-            let peak = unit_profile(&cs)
-                .ma_peak_units
-                .iter()
-                .cloned()
-                .fold(0.0, f64::max);
+            let peak = unit_profile(&cs).ma_peak_units.iter().cloned().fold(0.0, f64::max);
             (bubble, peak)
         };
         let (bub_full, _) = run(RetireRule::FullChain);
@@ -396,15 +382,11 @@ mod tests {
         // between: B(mb0, S-1) directly follows F(mb0, S-1).
         let (cfg, map) = hanayo_cfg(2, 4, 1);
         let s = map.stages;
-        let cs = list_schedule(&cfg, map, ListParams { cap: Some(2), ..Default::default() })
-            .unwrap();
+        let cs =
+            list_schedule(&cfg, map, ListParams { cap: Some(2), ..Default::default() }).unwrap();
         let d0 = &cs.per_device[0];
         let last_fwd =
             d0.iter().position(|o| o.mb.0 == 0 && o.stage.0 == s - 1 && !o.backward).unwrap();
-        assert_eq!(
-            d0[last_fwd + 1],
-            ComputeOp::bwd(0, s - 1),
-            "turnaround delayed: {d0:?}"
-        );
+        assert_eq!(d0[last_fwd + 1], ComputeOp::bwd(0, s - 1), "turnaround delayed: {d0:?}");
     }
 }

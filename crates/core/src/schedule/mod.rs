@@ -39,10 +39,9 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::Config(e) => write!(f, "invalid configuration: {e}"),
-            ScheduleError::Deadlock { scheduled, expected } => write!(
-                f,
-                "scheduler deadlock: placed {scheduled} of {expected} compute ops"
-            ),
+            ScheduleError::Deadlock { scheduled, expected } => {
+                write!(f, "scheduler deadlock: placed {scheduled} of {expected} compute ops")
+            }
         }
     }
 }
@@ -114,11 +113,7 @@ mod tests {
                     let cfg = PipelineConfig::new(p, b, scheme).unwrap();
                     let cs = build_compute_schedule(&cfg)
                         .unwrap_or_else(|e| panic!("{scheme} P={p} B={b}: {e}"));
-                    assert_eq!(
-                        cs.total_ops(),
-                        cs.expected_ops(),
-                        "{scheme} P={p} B={b} op count"
-                    );
+                    assert_eq!(cs.total_ops(), cs.expected_ops(), "{scheme} P={p} B={b} op count");
                 }
             }
         }

@@ -284,12 +284,7 @@ mod tests {
     fn detects_duplicate_op() {
         let cfg = PipelineConfig::new(2, 2, Scheme::GPipe).unwrap();
         let mut s = build_schedule(&cfg).unwrap();
-        let dup = s.lists[0]
-            .actions
-            .iter()
-            .find(|a| a.is_compute())
-            .cloned()
-            .unwrap();
+        let dup = s.lists[0].actions.iter().find(|a| a.is_compute()).cloned().unwrap();
         s.lists[0].actions.insert(0, dup);
         assert!(matches!(
             validate(&s),
@@ -301,11 +296,8 @@ mod tests {
     fn detects_missing_op() {
         let cfg = PipelineConfig::new(2, 2, Scheme::GPipe).unwrap();
         let mut s = build_schedule(&cfg).unwrap();
-        let idx = s.lists[1]
-            .actions
-            .iter()
-            .position(|a| matches!(a, Action::Backward { .. }))
-            .unwrap();
+        let idx =
+            s.lists[1].actions.iter().position(|a| matches!(a, Action::Backward { .. })).unwrap();
         s.lists[1].actions.remove(idx);
         assert!(matches!(validate(&s), Err(ValidationError::MissingOp(_))));
     }
@@ -318,9 +310,7 @@ mod tests {
         let idx = s.lists[1]
             .actions
             .iter()
-            .position(|a| {
-                a.comm_ops().iter().any(|o| o.dir == CommDir::Recv)
-            })
+            .position(|a| a.comm_ops().iter().any(|o| o.dir == CommDir::Recv))
             .unwrap();
         s.lists[1].actions.remove(idx);
         assert!(matches!(validate(&s), Err(ValidationError::UnmatchedComm(_))));
@@ -340,15 +330,10 @@ mod tests {
         let acts = &mut s.lists[1].actions;
         acts.swap(0, 1);
         // Also strip device 0's sends so the message never arrives.
-        s.lists[0].actions.retain(|a| {
-            !a.comm_ops().iter().any(|o| o.dir == CommDir::Send)
-        });
+        s.lists[0].actions.retain(|a| !a.comm_ops().iter().any(|o| o.dir == CommDir::Send));
         let r = validate(&s);
         assert!(
-            matches!(
-                r,
-                Err(ValidationError::Deadlock { .. } | ValidationError::UnmatchedComm(_))
-            ),
+            matches!(r, Err(ValidationError::Deadlock { .. } | ValidationError::UnmatchedComm(_))),
             "got {r:?}"
         );
     }

@@ -51,10 +51,7 @@ impl MicroModel {
         );
         let split = split_layers(self.total_blocks as u32, stages);
         let mut rng = self.rng();
-        split
-            .iter()
-            .map(|&blocks| Stage::mlp(&mut rng, self.width, blocks as usize))
-            .collect()
+        split.iter().map(|&blocks| Stage::mlp(&mut rng, self.width, blocks as usize)).collect()
     }
 }
 

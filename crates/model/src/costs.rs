@@ -21,12 +21,7 @@ pub fn bwd_flops_per_layer(m: &ModelConfig, micro_batch: u32) -> f64 {
 /// of `b` sequences: `s·b·h·(34 + 5·a·s/h)` (fp16, no selective
 /// recomputation — the paper benchmarks without activation checkpointing).
 pub fn act_bytes_per_layer(m: &ModelConfig, micro_batch: u32) -> u64 {
-    let (b, s, h, a) = (
-        micro_batch as f64,
-        m.seq_len as f64,
-        m.hidden as f64,
-        m.heads as f64,
-    );
+    let (b, s, h, a) = (micro_batch as f64, m.seq_len as f64, m.hidden as f64, m.heads as f64);
     (s * b * h * (34.0 + 5.0 * a * s / h)) as u64
 }
 

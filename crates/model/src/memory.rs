@@ -59,10 +59,7 @@ mod tests {
     fn lighter_accounting_halves_the_bill() {
         let m = ModelConfig::bert64();
         let zero1 = m.clone().with_train_bytes_per_param(8);
-        assert_eq!(
-            weight_train_bytes(&zero1, 8.0) * 2,
-            weight_train_bytes(&m, 8.0)
-        );
+        assert_eq!(weight_train_bytes(&zero1, 8.0) * 2, weight_train_bytes(&m, 8.0));
         // Gradient traffic is accounting-independent.
         assert_eq!(grad_bytes(&zero1, 8.0), grad_bytes(&m, 8.0));
     }

@@ -79,14 +79,9 @@ impl CostTable {
                 Recompute::Full => boundary,
             })
             .collect();
-        let weight_bytes = layers_per_stage
-            .iter()
-            .map(|&l| memory::weight_train_bytes(m, l))
-            .collect();
-        let grad_bytes = layers_per_stage
-            .iter()
-            .map(|&l| memory::grad_bytes(m, l))
-            .collect();
+        let weight_bytes =
+            layers_per_stage.iter().map(|&l| memory::weight_train_bytes(m, l)).collect();
+        let grad_bytes = layers_per_stage.iter().map(|&l| memory::grad_bytes(m, l)).collect();
         CostTable {
             layers_per_stage,
             fwd_flops,
@@ -122,9 +117,7 @@ pub fn split_layers(layers: u32, stages: u32) -> Vec<f64> {
     if stages <= layers {
         let base = layers / stages;
         let extra = layers % stages;
-        (0..stages)
-            .map(|s| if s < extra { (base + 1) as f64 } else { base as f64 })
-            .collect()
+        (0..stages).map(|s| if s < extra { (base + 1) as f64 } else { base as f64 }).collect()
     } else {
         vec![layers as f64 / stages as f64; stages as usize]
     }
@@ -177,10 +170,7 @@ mod tests {
     #[test]
     fn msg_bytes_independent_of_stage_count() {
         let m = ModelConfig::gpt128();
-        assert_eq!(
-            CostTable::build(&m, 8, 2).msg_bytes,
-            CostTable::build(&m, 64, 2).msg_bytes
-        );
+        assert_eq!(CostTable::build(&m, 8, 2).msg_bytes, CostTable::build(&m, 64, 2).msg_bytes);
     }
 
     #[test]

@@ -37,12 +37,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     out.push_str(&fmt_row(headers.to_vec(), &widths));
     out.push('\n');
@@ -76,10 +71,7 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1.0".into()],
-                vec!["longer".into(), "2.25".into()],
-            ],
+            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "2.25".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

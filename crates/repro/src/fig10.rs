@@ -49,15 +49,13 @@ pub fn data() -> Vec<SearchCell> {
         ModelConfig::gpt128().with_train_bytes_per_param(8),
     ]
     .into_iter()
-        .flat_map(|m| {
-            [32u32, 64].into_iter().flat_map(move |gb| {
-                let m = m.clone();
-                [(8u32, 4u32), (16, 2), (32, 1)]
-                    .into_iter()
-                    .map(move |pd| (m.clone(), gb, pd))
-            })
+    .flat_map(|m| {
+        [32u32, 64].into_iter().flat_map(move |gb| {
+            let m = m.clone();
+            [(8u32, 4u32), (16, 2), (32, 1)].into_iter().map(move |pd| (m.clone(), gb, pd))
         })
-        .collect();
+    })
+    .collect();
 
     grid.par_iter()
         .flat_map(|(model, global_batch, (pp, dp))| {
@@ -96,9 +94,7 @@ pub fn data() -> Vec<SearchCell> {
                 .max_by(|a, b| a.1.total_cmp(&b.1));
             cells.push(SearchCell {
                 model: model.name.clone(),
-                method: best
-                    .map(|(w, _)| format!("H-{w}"))
-                    .unwrap_or_else(|| "H".to_string()),
+                method: best.map(|(w, _)| format!("H-{w}")).unwrap_or_else(|| "H".to_string()),
                 pp: *pp,
                 dp: *dp,
                 global_batch: *global_batch,
@@ -191,9 +187,7 @@ mod tests {
         // "The absence of data in certain areas indicates ... OOM" —
         // GPipe must hit at least one OOM cell on the 40 GB parts.
         let cells = data();
-        assert!(cells
-            .iter()
-            .any(|c| c.method == "G" && c.throughput.is_none()));
+        assert!(cells.iter().any(|c| c.method == "G" && c.throughput.is_none()));
     }
 
     #[test]

@@ -24,15 +24,9 @@ pub struct Bar {
 
 fn eval(devices: u32, method: Method) -> Option<f64> {
     let cluster = lonestar6(devices as usize);
-    let plan = ParallelPlan {
-        method,
-        dp: devices / 8,
-        pp: 8,
-        micro_batches: 8,
-        micro_batch_size: 2,
-    };
-    let r =
-        evaluate_plan(&plan, &ModelConfig::bert64(), &cluster, SimOptions::default()).ok()?;
+    let plan =
+        ParallelPlan { method, dp: devices / 8, pp: 8, micro_batches: 8, micro_batch_size: 2 };
+    let r = evaluate_plan(&plan, &ModelConfig::bert64(), &cluster, SimOptions::default()).ok()?;
     if r.is_oom() {
         None
     } else {
@@ -49,9 +43,7 @@ pub fn data() -> Vec<Bar> {
                 Method::Hanayo { .. } => {
                     let best = WAVE_SEARCH
                         .iter()
-                        .filter_map(|&w| {
-                            eval(devices, Method::Hanayo { waves: w }).map(|t| (w, t))
-                        })
+                        .filter_map(|&w| eval(devices, Method::Hanayo { waves: w }).map(|t| (w, t)))
                         .max_by(|a, b| a.1.total_cmp(&b.1));
                     bars.push(Bar {
                         devices,
@@ -61,11 +53,9 @@ pub fn data() -> Vec<Bar> {
                         throughput: best.map(|(_, t)| t),
                     });
                 }
-                m => bars.push(Bar {
-                    devices,
-                    method: m.to_string(),
-                    throughput: eval(devices, m),
-                }),
+                m => {
+                    bars.push(Bar { devices, method: m.to_string(), throughput: eval(devices, m) })
+                }
             }
         }
     }
@@ -81,10 +71,7 @@ pub fn hanayo_efficiency(bars: &[Bar]) -> Vec<(u32, f64)> {
             .expect("hanayo runs")
     };
     let base = of(8);
-    [16u32, 32]
-        .iter()
-        .map(|&p| (p, of(p) / (base * p as f64 / 8.0)))
-        .collect()
+    [16u32, 32].iter().map(|&p| (p, of(p) / (base * p as f64 / 8.0))).collect()
 }
 
 /// Render the figure.
@@ -106,10 +93,7 @@ pub fn run() -> String {
             row
         })
         .collect();
-    out.push_str(&render_table(
-        &["scale", "GPipe", "DAPPLE", "Chimera-wave", "Hanayo"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["scale", "GPipe", "DAPPLE", "Chimera-wave", "Hanayo"], &rows));
     out.push_str("\nHanayo parallel efficiency vs 8 devices:\n");
     for (p, eff) in hanayo_efficiency(&bars) {
         out.push_str(&format!("  {p} devices: {:.1}%\n", 100.0 * eff));

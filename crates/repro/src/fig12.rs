@@ -73,9 +73,7 @@ pub fn data() -> Vec<Bar> {
                 Method::Hanayo { .. } => {
                     let best = WAVE_SEARCH
                         .iter()
-                        .filter_map(|&w| {
-                            eval(devices, Method::Hanayo { waves: w }).map(|t| (w, t))
-                        })
+                        .filter_map(|&w| eval(devices, Method::Hanayo { waves: w }).map(|t| (w, t)))
                         .max_by(|a, b| a.1.total_cmp(&b.1));
                     bars.push(Bar {
                         devices,
@@ -85,11 +83,9 @@ pub fn data() -> Vec<Bar> {
                         throughput: best.map(|(_, t)| t),
                     });
                 }
-                m => bars.push(Bar {
-                    devices,
-                    method: m.to_string(),
-                    throughput: eval(devices, m),
-                }),
+                m => {
+                    bars.push(Bar { devices, method: m.to_string(), throughput: eval(devices, m) })
+                }
             }
         }
     }
@@ -130,10 +126,7 @@ pub fn run() -> String {
             row
         })
         .collect();
-    out.push_str(&render_table(
-        &["scale", "GPipe", "DAPPLE", "Chimera", "Hanayo"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["scale", "GPipe", "DAPPLE", "Chimera", "Hanayo"], &rows));
     out.push_str("\nHanayo speedup vs 8 devices:\n");
     for (p, pct) in hanayo_speedups(&bars) {
         out.push_str(&format!("  {p} devices: {pct:.1}%\n"));
@@ -166,10 +159,8 @@ mod tests {
         // Hanayo's, so here it survives exactly where Hanayo does.
         let bars = data();
         for p in [8u32, 16, 32] {
-            let bar = bars
-                .iter()
-                .find(|b| b.devices == p && b.method.starts_with("DAPPLE"))
-                .unwrap();
+            let bar =
+                bars.iter().find(|b| b.devices == p && b.method.starts_with("DAPPLE")).unwrap();
             assert!(bar.throughput.is_some(), "DAPPLE at {p}");
         }
     }
@@ -179,10 +170,8 @@ mod tests {
         let bars = data();
         for fam in ["Chimera", "Hanayo"] {
             for p in [8u32, 16, 32] {
-                let bar = bars
-                    .iter()
-                    .find(|b| b.devices == p && b.method.starts_with(fam))
-                    .unwrap();
+                let bar =
+                    bars.iter().find(|b| b.devices == p && b.method.starts_with(fam)).unwrap();
                 assert!(bar.throughput.is_some(), "{fam} at {p}");
             }
         }

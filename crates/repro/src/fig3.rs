@@ -47,8 +47,7 @@ pub fn run() -> String {
     );
     for panel in data() {
         out.push_str(&format!("{}\n{}", panel.name, panel.gantt));
-        let mw: Vec<String> =
-            panel.memory.mw_units.iter().map(|v| format!("{v:.2}")).collect();
+        let mw: Vec<String> = panel.memory.mw_units.iter().map(|v| format!("{v:.2}")).collect();
         let ma: Vec<String> =
             panel.memory.ma_peak_units.iter().map(|v| format!("{v:.2}")).collect();
         out.push_str(&format!("  Mw units/device: [{}]\n", mw.join(", ")));

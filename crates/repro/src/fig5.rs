@@ -23,7 +23,11 @@ pub fn run() -> String {
          makespan: chimera={} ticks, wave form={} ticks (no extra overhead)\n\
          max weight units/device: chimera={}, wave={} (replication removed)\n\
          messages: chimera={}, per wave pipeline={}\n",
-        r.chimera_makespan, r.wave_makespan, r.chimera_mw, r.wave_mw, r.chimera_messages,
+        r.chimera_makespan,
+        r.wave_makespan,
+        r.chimera_mw,
+        r.wave_mw,
+        r.chimera_messages,
         r.wave_messages
     )
 }

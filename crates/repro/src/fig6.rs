@@ -13,11 +13,7 @@ pub fn data() -> Vec<(String, String, f64)> {
             let cfg = PipelineConfig::new(p, p, Scheme::Hanayo { waves: w }).expect("valid");
             let cs = build_compute_schedule(&cfg).expect("schedulable");
             let bubble = replay_timeline(&cs, 1, 2, 0).bubble_ratio();
-            (
-                format!("wave={w}, devices={p}"),
-                render_paper_style(&cs),
-                bubble,
-            )
+            (format!("wave={w}, devices={p}"), render_paper_style(&cs), bubble)
         })
         .collect()
 }

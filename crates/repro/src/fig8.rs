@@ -140,14 +140,7 @@ mod tests {
         // Hanayo 1.44 — our shape requirement: DAPPLE's variance is the
         // largest and Hanayo's is below Chimera's and DAPPLE's.
         for panel in data() {
-            let by = |m: Method| {
-                panel
-                    .methods
-                    .iter()
-                    .find(|x| x.method == m)
-                    .unwrap()
-                    .variance_gb2
-            };
+            let by = |m: Method| panel.methods.iter().find(|x| x.method == m).unwrap().variance_gb2;
             let dapple = by(Method::Dapple);
             let hanayo = by(Method::Hanayo { waves: 2 });
             assert!(

@@ -31,8 +31,7 @@ pub struct Cell {
 }
 
 fn eval(cluster: &ClusterSpec, dp: u32, pp: u32, method: Method) -> Option<f64> {
-    let plan =
-        ParallelPlan { method, dp, pp, micro_batches: pp, micro_batch_size: 1 };
+    let plan = ParallelPlan { method, dp, pp, micro_batches: pp, micro_batch_size: 1 };
     let model = ModelConfig::bert64().with_train_bytes_per_param(8);
     let r = evaluate_plan(&plan, &model, cluster, SimOptions::default()).ok()?;
     if r.is_oom() {
@@ -79,10 +78,7 @@ pub fn hanayo_over_chimera() -> Vec<(String, f64)> {
                 .iter()
                 .filter_map(|&w| of(Method::Hanayo { waves: w }))
                 .fold(0.0f64, f64::max);
-            out.push((
-                format!("{name}(D={dp},P={pp})"),
-                100.0 * (best_h / chimera - 1.0),
-            ));
+            out.push((format!("{name}(D={dp},P={pp})"), 100.0 * (best_h / chimera - 1.0)));
         }
     }
     out
@@ -108,9 +104,7 @@ pub fn run() -> String {
                 for m in &methods {
                     let cell = cells
                         .iter()
-                        .find(|c| {
-                            c.cluster == *name && c.dp == dp && c.pp == pp && c.method == *m
-                        })
+                        .find(|c| c.cluster == *name && c.dp == dp && c.pp == pp && c.method == *m)
                         .expect("cell");
                     row.push(fmt_outcome(cell.throughput));
                 }

@@ -54,10 +54,7 @@ impl AllreduceHub {
         if slot.arrived == self.world {
             // Reduce in rank order for bitwise determinism.
             let mut iter_contrib = slot.contributions.iter_mut();
-            let mut total = iter_contrib
-                .next()
-                .and_then(Option::take)
-                .expect("rank 0 contributed");
+            let mut total = iter_contrib.next().and_then(Option::take).expect("rank 0 contributed");
             for c in iter_contrib {
                 total.accumulate(c.as_ref().expect("all contributed"));
             }
@@ -108,8 +105,7 @@ mod tests {
                 })
             })
             .collect();
-        let results: Vec<StageGrads> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<StageGrads> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         // All ranks see the same sum: 1x + 2x + 3x = 6x.
         let mut expect = grads_scaled(&stage, 1.0);
         expect.scale(6.0);
@@ -144,11 +140,7 @@ mod tests {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap().flat())
-                .next()
-                .unwrap()
+            handles.into_iter().map(|h| h.join().unwrap().flat()).next().unwrap()
         };
         assert_eq!(run(), run(), "arrival order must not change the bits");
     }

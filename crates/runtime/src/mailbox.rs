@@ -36,10 +36,7 @@ impl Mailbox {
             return t;
         }
         loop {
-            let env = self
-                .rx
-                .recv()
-                .expect("fabric closed while a receive was pending");
+            let env = self.rx.recv().expect("fabric closed while a receive was pending");
             if env.iter == iter && env.tag == tag {
                 return env.tensor;
             }
@@ -62,9 +59,7 @@ pub struct Fabric {
 impl Fabric {
     /// Non-blocking send to `device`.
     pub fn send(&self, device: usize, env: Envelope) {
-        self.senders[device]
-            .send(env)
-            .expect("peer mailbox dropped while sending");
+        self.senders[device].send(env).expect("peer mailbox dropped while sending");
     }
 
     /// Number of endpoints.

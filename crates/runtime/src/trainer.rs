@@ -3,8 +3,8 @@
 
 use crate::collective::AllreduceHub;
 use crate::mailbox::fabric;
-use crate::worker::{run_worker, IterationData, WorkerConfig, WorkerReport};
 pub use crate::worker::LossKind;
+use crate::worker::{run_worker, IterationData, WorkerConfig, WorkerReport};
 use hanayo_core::action::Schedule;
 use hanayo_core::ids::{DeviceId, MicroBatch};
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
@@ -38,11 +38,7 @@ pub struct TrainOutput {
 }
 
 fn validate(cfg: &TrainerConfig) {
-    assert_eq!(
-        cfg.stages.len(),
-        cfg.schedule.stage_map.stages as usize,
-        "one module per stage"
-    );
+    assert_eq!(cfg.stages.len(), cfg.schedule.stage_map.stages as usize, "one module per stage");
     for group in &cfg.schedule.stage_map.groups {
         assert_eq!(
             group.replica.0, 0,
@@ -78,9 +74,8 @@ pub fn train_data_parallel(cfg: &TrainerConfig, data: &[Vec<IterationData>]) -> 
     });
     // Replicas end bit-identical; average their reported losses.
     let iters = outputs[0].losses.len();
-    let losses = (0..iters)
-        .map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32)
-        .collect();
+    let losses =
+        (0..iters).map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
     let peak = outputs.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
     TrainOutput {
         losses,
@@ -224,13 +219,11 @@ mod tests {
     fn job(p: u32, b: u32, scheme: Scheme) -> (TrainerConfig, Vec<IterationData>) {
         let cfg = PipelineConfig::new(p, b, scheme).unwrap();
         let schedule = build_schedule(&cfg).unwrap();
-        let model = MicroModel { width: 8, total_blocks: schedule.stage_map.stages as usize, seed: 7 };
+        let model =
+            MicroModel { width: 8, total_blocks: schedule.stage_map.stages as usize, seed: 7 };
         let stages = model.build_stages(schedule.stage_map.stages);
         let data = synthetic_data(3, 2, b as usize, 2, 8);
-        (
-            TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse },
-            data,
-        )
+        (TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse }, data)
     }
 
     #[test]
@@ -260,15 +253,8 @@ mod tests {
         // Same data every iteration → loss must fall.
         let one = synthetic_data(9, 1, 2, 4, 8).remove(0);
         let data = vec![one.clone(); 8];
-        let out = train(
-            &TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse },
-            &data,
-        );
-        assert!(
-            out.losses.last().unwrap() < out.losses.first().unwrap(),
-            "{:?}",
-            out.losses
-        );
+        let out = train(&TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse }, &data);
+        assert!(out.losses.last().unwrap() < out.losses.first().unwrap(), "{:?}", out.losses);
     }
 
     #[test]
@@ -279,10 +265,7 @@ mod tests {
         let stages = model.build_stages(2);
         let data = synthetic_data(1, 1, 2, 2, 8);
         let result = std::panic::catch_unwind(|| {
-            train(
-                &TrainerConfig { schedule, stages, lr: 0.1, loss: LossKind::Mse },
-                &data,
-            )
+            train(&TrainerConfig { schedule, stages, lr: 0.1, loss: LossKind::Mse }, &data)
         });
         assert!(result.is_err(), "chimera-native must be rejected");
     }
@@ -298,14 +281,8 @@ mod tests {
         // so the comparison is approximate, not bitwise.
         let merged: Vec<IterationData> = (0..2)
             .map(|i| IterationData {
-                inputs: shards
-                    .iter()
-                    .flat_map(|s| s[i].inputs.clone())
-                    .collect(),
-                targets: shards
-                    .iter()
-                    .flat_map(|s| s[i].targets.clone())
-                    .collect(),
+                inputs: shards.iter().flat_map(|s| s[i].inputs.clone()).collect(),
+                targets: shards.iter().flat_map(|s| s[i].targets.clone()).collect(),
             })
             .collect();
         let seq = sequential_reference(&cfg.stages, &merged, cfg.lr, &cfg.loss);

@@ -85,11 +85,8 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
         let mut local: HashMap<MsgTag, Tensor> = HashMap::new();
         let mut outbound: HashMap<MsgTag, Tensor> = HashMap::new();
         let mut stash: HashMap<(u32, u32), StageStash> = HashMap::new();
-        let mut slots: HashMap<u32, Vec<Option<StageGrads>>> = cfg
-            .modules
-            .keys()
-            .map(|&s| (s, vec![None; micro_batches as usize]))
-            .collect();
+        let mut slots: HashMap<u32, Vec<Option<StageGrads>>> =
+            cfg.modules.keys().map(|&s| (s, vec![None; micro_batches as usize])).collect();
         let mut iter_loss = 0.0f32;
 
         for action in actions {
@@ -98,8 +95,7 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                     let x = if stage.0 == 0 {
                         data.inputs[mb.idx()].clone()
                     } else {
-                        let tag =
-                            MsgTag { mb: *mb, stage: *stage, payload: Payload::Activation };
+                        let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Activation };
                         local.remove(&tag).unwrap_or_else(|| panic!("missing input {tag}"))
                     };
                     let module = cfg.modules.get(&stage.0).expect("module present");
@@ -125,8 +121,7 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                 }
                 Action::Backward { mb, stage } => {
                     let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
-                    let dy =
-                        local.remove(&tag).unwrap_or_else(|| panic!("missing gradient {tag}"));
+                    let dy = local.remove(&tag).unwrap_or_else(|| panic!("missing gradient {tag}"));
                     let st = stash
                         .remove(&(mb.0, stage.0))
                         .unwrap_or_else(|| panic!("missing stash for {mb} {stage}"));
@@ -247,12 +242,8 @@ mod tests {
         let y = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
         let (l, _) = apply_loss(&LossKind::Mse, &y, &data, MicroBatch(0));
         assert_eq!(l, 0.0);
-        let (l2, _) = apply_loss(
-            &LossKind::CrossEntropy { labels: vec![vec![0]] },
-            &y,
-            &data,
-            MicroBatch(0),
-        );
+        let (l2, _) =
+            apply_loss(&LossKind::CrossEntropy { labels: vec![vec![0]] }, &y, &data, MicroBatch(0));
         assert!(l2 > 0.0);
     }
 }

@@ -169,11 +169,7 @@ impl<'a> Engine<'a> {
     fn prefetch(&mut self, d: usize, from: usize, now: f64) {
         let actions = &self.schedule.lists[d].actions;
         let mut groups = 0usize;
-        for action in actions
-            .iter()
-            .skip(from)
-            .take(self.opts.lookahead_window)
-        {
+        for action in actions.iter().skip(from).take(self.opts.lookahead_window) {
             match action {
                 Action::Comm(op) if op.dir == CommDir::Recv => {
                     self.post_recv(d, op.tag, now);
@@ -394,11 +390,8 @@ pub fn simulate(
 
     let iteration_time = eng.finish.iter().cloned().fold(0.0, f64::max);
     let total_busy: f64 = eng.busy.iter().sum();
-    let bubble_ratio = if iteration_time > 0.0 {
-        1.0 - total_busy / (iteration_time * p as f64)
-    } else {
-        0.0
-    };
+    let bubble_ratio =
+        if iteration_time > 0.0 { 1.0 - total_busy / (iteration_time * p as f64) } else { 0.0 };
     SimReport {
         iteration_time,
         device_busy: eng.busy,

@@ -174,10 +174,7 @@ pub fn evaluate_plan(
 ) -> Result<PlanResult, PlanError> {
     let needed = plan.dp * plan.pp;
     if needed as usize > cluster.len() {
-        return Err(PlanError::ClusterTooSmall {
-            needed,
-            available: cluster.len() as u32,
-        });
+        return Err(PlanError::ClusterTooSmall { needed, available: cluster.len() as u32 });
     }
     let (scheme, pp_eff, dp_mult, b_eff) = resolve(plan.method, plan.pp, plan.micro_batches)?;
     let dp_eff = plan.dp * dp_mult;
@@ -191,8 +188,7 @@ pub fn evaluate_plan(
     let mut pipeline_time = 0.0f64;
     let mut first_report: Option<SimReport> = None;
     for g in 0..dp_eff {
-        let devices: Vec<usize> =
-            (0..pp_eff as usize).map(|r| (g * pp_eff) as usize + r).collect();
+        let devices: Vec<usize> = (0..pp_eff as usize).map(|r| (g * pp_eff) as usize + r).collect();
         let sub = cluster.select(&devices);
         let report = simulate(&schedule, &cost, &sub, opts);
         pipeline_time = pipeline_time.max(report.iteration_time);
@@ -211,8 +207,7 @@ pub fn evaluate_plan(
     let allreduce_time = if dp_eff > 1 {
         let raw = (0..pp_eff as usize)
             .map(|r| {
-                let ring: Vec<usize> =
-                    (0..dp_eff).map(|g| (g * pp_eff) as usize + r).collect();
+                let ring: Vec<usize> = (0..dp_eff).map(|g| (g * pp_eff) as usize + r).collect();
                 ring_allreduce_time(cluster, &ring, group_report.grad_mem[r])
             })
             .fold(0.0, f64::max);
@@ -224,12 +219,8 @@ pub fn evaluate_plan(
     let iteration_time = pipeline_time + allreduce_time;
     let sequences = (dp_eff * b_eff * plan.micro_batch_size) as f64;
     let capacities: Vec<u64> = (0..cluster.len()).map(|d| cluster.memory(d)).collect();
-    let oom_devices = peak_mem
-        .iter()
-        .enumerate()
-        .filter(|&(d, &m)| m > capacities[d])
-        .map(|(d, _)| d)
-        .collect();
+    let oom_devices =
+        peak_mem.iter().enumerate().filter(|&(d, &m)| m > capacities[d]).map(|(d, _)| d).collect();
 
     Ok(PlanResult {
         plan: *plan,

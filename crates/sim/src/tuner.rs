@@ -83,20 +83,14 @@ pub fn tune(
     let mut methods = opts.methods.clone();
     methods.extend(opts.waves.iter().map(|&w| Method::Hanayo { waves: w }));
 
-    for pp in (opts.min_pp..=n).filter(|pp| n % pp == 0) {
+    for pp in (opts.min_pp..=n).filter(|pp| n.is_multiple_of(*pp)) {
         let dp = n / pp;
-        if global_micro_batches % dp != 0 {
+        if !global_micro_batches.is_multiple_of(dp) {
             continue;
         }
         let b = global_micro_batches / dp;
         for &method in &methods {
-            let plan = ParallelPlan {
-                method,
-                dp,
-                pp,
-                micro_batches: b,
-                micro_batch_size,
-            };
+            let plan = ParallelPlan { method, dp, pp, micro_batches: b, micro_batch_size };
             let Ok(result) = evaluate_plan(&plan, model, cluster, opts.sim) else {
                 continue;
             };

@@ -158,11 +158,7 @@ mod tests {
             xp.data[i] += eps;
             xm.data[i] -= eps;
             let fd = (gelu(&xp).data[i] - gelu(&xm).data[i]) / (2.0 * eps);
-            assert!(
-                (fd - analytic.data[i]).abs() < 1e-2,
-                "i={i} fd={fd} an={}",
-                analytic.data[i]
-            );
+            assert!((fd - analytic.data[i]).abs() < 1e-2, "i={i} fd={fd} an={}", analytic.data[i]);
         }
     }
 
@@ -184,11 +180,7 @@ mod tests {
             xp.data[i] += eps;
             xm.data[i] -= eps;
             let fd = (obj(&xp) - obj(&xm)) / (2.0 * eps);
-            assert!(
-                (fd - analytic.data[i]).abs() < 5e-3,
-                "i={i} fd={fd} an={}",
-                analytic.data[i]
-            );
+            assert!((fd - analytic.data[i]).abs() < 5e-3, "i={i} fd={fd} an={}", analytic.data[i]);
         }
     }
 }

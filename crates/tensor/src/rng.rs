@@ -13,9 +13,7 @@ pub fn seeded(seed: u64) -> StdRng {
 
 /// Uniform tensor in `[-limit, limit)`.
 pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f32) -> Tensor {
-    let data = (0..rows * cols)
-        .map(|_| rng.random::<f32>() * 2.0 * limit - limit)
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.random::<f32>() * 2.0 * limit - limit).collect();
     Tensor::from_vec(rows, cols, data)
 }
 
@@ -42,6 +40,17 @@ mod tests {
         let a = he_init(&mut seeded(7), 16, 8);
         let b = he_init(&mut seeded(8), 16, 8);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeded_stream_is_pinned() {
+        // The exact draws of seed 42 are frozen: every cross-engine
+        // gradient-equivalence test initialises weights through this
+        // stream, so a silent RNG change would invalidate all recorded
+        // baselines. If the generator changes intentionally, update these
+        // constants and regenerate the golden schedule snapshots.
+        let t = uniform(&mut seeded(42), 1, 4, 1.0);
+        assert_eq!(t.data, vec![0.48312974, -0.68017924, -0.44279778, -0.3116187]);
     }
 
     #[test]

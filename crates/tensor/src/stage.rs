@@ -104,10 +104,7 @@ impl StageGrads {
         assert_eq!(self.per_block.len(), other.per_block.len());
         for (a, b) in self.per_block.iter_mut().zip(&other.per_block) {
             match (a, b) {
-                (
-                    BlockGrads::Linear { dw, db },
-                    BlockGrads::Linear { dw: dw2, db: db2 },
-                ) => {
+                (BlockGrads::Linear { dw, db }, BlockGrads::Linear { dw: dw2, db: db2 }) => {
                     dw.add_assign(dw2);
                     for (x, y) in db.iter_mut().zip(db2) {
                         *x += y;
@@ -192,10 +189,7 @@ impl Stage {
                 bias: vec![0.0; width],
                 eps: 1e-5,
             });
-            blocks.push(Block::Linear {
-                w: rng::he_init(rng, width, width),
-                b: vec![0.0; width],
-            });
+            blocks.push(Block::Linear { w: rng::he_init(rng, width, width), b: vec![0.0; width] });
             blocks.push(Block::Gelu);
         }
         Stage { blocks }
@@ -327,10 +321,9 @@ impl Stage {
             .blocks
             .iter()
             .map(|b| match b {
-                Block::Linear { w, b } => BlockGrads::Linear {
-                    dw: Tensor::zeros(w.rows, w.cols),
-                    db: vec![0.0; b.len()],
-                },
+                Block::Linear { w, b } => {
+                    BlockGrads::Linear { dw: Tensor::zeros(w.rows, w.cols), db: vec![0.0; b.len()] }
+                }
                 Block::LayerNorm { gain, bias, .. } => BlockGrads::LayerNorm {
                     dgain: vec![0.0; gain.len()],
                     dbias: vec![0.0; bias.len()],

@@ -134,11 +134,7 @@ impl Tensor {
     /// Max absolute difference to another tensor.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Frobenius norm.

@@ -22,20 +22,11 @@ fn main() {
     ];
 
     println!("BERT-style model, 8 GPUs per cluster, B = 8 micro-batches (D=1, P=8)\n");
-    println!(
-        "{:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "", "G", "D", "C", "H-2", "H-4", "H-8"
-    );
+    println!("{:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "", "G", "D", "C", "H-2", "H-4", "H-8");
     for cluster in paper_clusters(8) {
         print!("{:<6}", cluster.name);
         for method in methods {
-            let plan = ParallelPlan {
-                method,
-                dp: 1,
-                pp: 8,
-                micro_batches: 8,
-                micro_batch_size: 1,
-            };
+            let plan = ParallelPlan { method, dp: 1, pp: 8, micro_batches: 8, micro_batch_size: 1 };
             match evaluate_plan(&plan, &model, &cluster, SimOptions::default()) {
                 Ok(r) if !r.is_oom() => print!(" {:>8.2}", r.throughput),
                 Ok(_) => print!(" {:>8}", "OOM"),

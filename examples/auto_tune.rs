@@ -21,11 +21,9 @@ fn main() {
 
     for cluster in [lonestar6(8), tencent_v100(8)] {
         println!("=== Tuning BERT-64L on {} (8 GPUs, 16 micro-batches) ===\n", cluster.name);
-        let tuning = tune(&model, &cluster, 16, 1, &TuneOptions { min_pp: 4, ..Default::default() });
-        println!(
-            "{:<22} {:>10} {:>9} {:>10}",
-            "plan", "seq/s", "bubble", "peak (GB)"
-        );
+        let tuning =
+            tune(&model, &cluster, 16, 1, &TuneOptions { min_pp: 4, ..Default::default() });
+        println!("{:<22} {:>10} {:>9} {:>10}", "plan", "seq/s", "bubble", "peak (GB)");
         for c in tuning.ranked.iter().take(6) {
             println!(
                 "{:<22} {:>10.2} {:>8.1}% {:>10.1}",
@@ -47,7 +45,9 @@ fn main() {
     let cfg = PipelineConfig::new(8, 16, Scheme::Hanayo { waves: 2 }).expect("valid");
     let schedule = build_schedule(&cfg).expect("schedulable");
     let cluster = lonestar6(8);
-    for (name, mode) in [("stash everything", Recompute::None), ("full checkpointing", Recompute::Full)] {
+    for (name, mode) in
+        [("stash everything", Recompute::None), ("full checkpointing", Recompute::Full)]
+    {
         let cost = CostTable::build_with(&ModelConfig::bert64(), cfg.stages(), 2, mode);
         let r = simulate(&schedule, &cost, &cluster, SimOptions::default());
         println!(

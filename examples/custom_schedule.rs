@@ -15,9 +15,9 @@ use hanayo::cluster::topology::fc_full_nvlink;
 use hanayo::core::config::{PipelineConfig, Scheme};
 use hanayo::core::gantt::render_paper_style;
 use hanayo::core::ids::{DeviceId, ReplicaId};
+use hanayo::core::schedule::build_compute_schedule;
 use hanayo::core::schedule::custom::build_custom_schedule;
 use hanayo::core::schedule::listsched::{ListParams, RetireRule};
-use hanayo::core::schedule::{build_compute_schedule, build_schedule};
 use hanayo::core::stage_map::{PathGroup, StageMap};
 use hanayo::core::validate::validate;
 use hanayo::model::builders::MicroModel;
@@ -43,13 +43,9 @@ fn main() {
     };
 
     let cfg = PipelineConfig::new(p, b, Scheme::GPipe).expect("P and B carrier");
-    let params = ListParams {
-        cap: Some(p),
-        retire: RetireRule::ForwardComplete,
-        ..Default::default()
-    };
-    let schedule =
-        build_custom_schedule(&cfg, map, params).expect("custom scheme generates");
+    let params =
+        ListParams { cap: Some(p), retire: RetireRule::ForwardComplete, ..Default::default() };
+    let schedule = build_custom_schedule(&cfg, map, params).expect("custom scheme generates");
     validate(&schedule).expect("and validates like any built-in scheme");
 
     println!("A user-defined 'double-fold' pipeline on 4 devices:\n");
@@ -69,12 +65,8 @@ fn main() {
     // And train with it — correctness comes for free from the runtime.
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 13 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-    };
+    let trainer =
+        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.05, loss: LossKind::Mse };
     let data = synthetic_data(2, 3, b as usize, 2, 8);
     let out = train(&trainer, &data);
     let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);

@@ -35,10 +35,7 @@ fn main() {
     println!("  DAPPLE      : {:.1}%", 100.0 * bubble::dapple(8, 8, &c));
     println!("  Chimera     : {:.1}%", 100.0 * bubble::chimera(8, 8, &c));
     for w in [1u32, 2, 4] {
-        println!(
-            "  Hanayo W={w}  : {:.1}%",
-            100.0 * bubble::hanayo_eq1(8, w, &c)
-        );
+        println!("  Hanayo W={w}  : {:.1}%", 100.0 * bubble::hanayo_eq1(8, w, &c));
     }
 
     println!("\n=== 3. Simulated execution on an NVSwitch A100 box ===\n");

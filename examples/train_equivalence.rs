@@ -10,9 +10,7 @@
 use hanayo::core::config::{PipelineConfig, Scheme};
 use hanayo::core::schedule::build_schedule;
 use hanayo::model::builders::MicroModel;
-use hanayo::runtime::trainer::{
-    sequential_reference, synthetic_data, train, TrainerConfig,
-};
+use hanayo::runtime::trainer::{sequential_reference, synthetic_data, train, TrainerConfig};
 use hanayo::runtime::LossKind;
 
 fn main() {
@@ -22,8 +20,7 @@ fn main() {
 
     // Same data and same initial weights for every run.
     let data = {
-        let one = synthetic_data(7, 1, b as usize, 4, width)
-            .remove(0);
+        let one = synthetic_data(7, 1, b as usize, 4, width).remove(0);
         vec![one; 12] // 12 iterations over the same batch → loss must fall
     };
 
@@ -51,14 +48,9 @@ fn main() {
         };
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
-        let bitwise = out
-            .stages
-            .iter()
-            .zip(&seq.stages)
-            .all(|(a, b)| a == b);
+        let bitwise = out.stages.iter().zip(&seq.stages).all(|(a, b)| a == b);
 
-        let final_params: Vec<f32> =
-            out.stages.iter().flat_map(|s| s.flat_params()).collect();
+        let final_params: Vec<f32> = out.stages.iter().flat_map(|s| s.flat_params()).collect();
         let cross_schedule = match &reference {
             None => {
                 reference = Some(final_params);

@@ -19,7 +19,10 @@ fn main() {
     let model = ModelConfig::bert64();
 
     println!("=== Wave-count ablation (P=8, B=8, BERT) ===\n");
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "waves", "FC iter(ms)", "FC bubble", "TACC iter", "TACC bubble");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "waves", "FC iter(ms)", "FC bubble", "TACC iter", "TACC bubble"
+    );
     for w in [1u32, 2, 4, 8] {
         let cfg = PipelineConfig::new(8, 8, Scheme::Hanayo { waves: w }).expect("valid");
         let schedule = build_schedule(&cfg).expect("schedulable");

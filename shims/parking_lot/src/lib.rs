@@ -1,0 +1,98 @@
+//! Offline stand-in for `parking_lot`: `Mutex` and `Condvar` with the
+//! parking_lot API shape (no poisoning, `Condvar::wait(&mut guard)`),
+//! implemented over `std::sync`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutex whose `lock` returns the guard directly (no poison `Result`).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// RAII guard for [`Mutex`]. Wraps the std guard in an `Option` so
+/// [`Condvar::wait`] can temporarily take ownership through `&mut`.
+pub struct MutexGuard<'a, T>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] by mutable reference.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and wait for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already waiting");
+        let inner = self.0.wait(inner).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            cv.notify_all();
+            drop(done);
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        h.join().unwrap();
+    }
+}

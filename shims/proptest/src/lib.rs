@@ -1,0 +1,126 @@
+//! Offline stand-in for `proptest` implementing the subset this workspace
+//! uses: the `proptest!` / `prop_assert*` / `prop_oneof!` macros, range and
+//! collection strategies, `prop_map` / `prop_flat_map` / `boxed`, `Union`,
+//! and a deterministic runner.
+//!
+//! Determinism model (simpler than upstream, strictly reproducible):
+//! every test derives its base seed from the test's source file and name,
+//! so a failure always reproduces on re-run. Failing case seeds are
+//! printed and persisted to a `proptest-regressions/<file>.txt` file
+//! parallel to the test source (same convention as upstream proptest),
+//! and persisted seeds are always replayed first on later runs. Set
+//! `PROPTEST_SEED=<u64>` to override the base seed, and
+//! `PROPTEST_CASES=<n>` to override the case count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual glob import: macros, core strategy types, config.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The body of one generated property test: runs `cases` iterations of
+/// `f`, replaying persisted regression seeds first.
+///
+/// Not public API upstream; the macros below expand to calls into this.
+pub fn run_property_test(
+    config: test_runner::ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    f: impl Fn(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    test_runner::run(config, source_file, test_name, f);
+}
+
+/// `proptest! { ... }`: expands each `fn name(pat in strategy, ...) { body }`
+/// into a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property_test(config, file!(), stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    #[allow(unreachable_code)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    outcome
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional custom message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional custom message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: a uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,245 @@
+//! The deterministic case runner: seeding, regression-seed replay and
+//! persistence, panic capture.
+
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Per-test configuration. Only the fields this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test case (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+/// splitmix64: tiny, well-distributed, and fully deterministic.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Modulo bias is negligible for the small bounds tests use.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over the test identity: the deterministic base seed.
+fn base_seed(source_file: &str, test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source_file.bytes().chain([0]).chain(test_name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Locate the test's source file from `file!()`, which is relative to the
+/// workspace root while the test binary runs from the package root.
+fn resolve_source(file: &str) -> Option<PathBuf> {
+    let direct = Path::new(file);
+    if direct.exists() {
+        return Some(direct.to_path_buf());
+    }
+    for up in ["..", "../..", "../../.."] {
+        let candidate = Path::new(up).join(file);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// `proptest-regressions/<stem>.txt` parallel to the source file's
+/// directory — upstream proptest's `SourceParallel` convention.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let source = resolve_source(source_file)?;
+    let dir = source.parent()?.parent()?;
+    let stem = source.file_stem()?;
+    Some(dir.join("proptest-regressions").join(stem).with_extension("txt"))
+}
+
+fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            let token = token.strip_prefix("0x").unwrap_or(token);
+            u64::from_str_radix(token, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_failure(path: &Path, test_name: &str, seed: u64) {
+    use std::io::Write;
+
+    if load_regression_seeds(path).contains(&seed) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    // Append-only: tests in one source file share this regression file and
+    // may fail concurrently under cargo's parallel test threads, so a
+    // read-modify-write here could drop another test's freshly persisted
+    // seed. A single appended write cannot.
+    let mut entry = String::new();
+    if !path.exists() {
+        entry.push_str(
+            "# Seeds for failure cases proptest has generated in the past.\n\
+             # It is automatically read and these particular cases re-run before\n\
+             # any novel cases are generated. Format: `cc 0x<seed> # <test>`.\n",
+        );
+    }
+    entry.push_str(&format!("cc {seed:#018x} # {test_name}\n"));
+    if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(entry.as_bytes());
+    }
+}
+
+/// Run one property test: replay persisted regression seeds, then
+/// `config.cases` fresh cases. Panics (as `#[test]` expects) on the first
+/// failing case, printing and persisting its seed.
+pub fn run(
+    config: ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    f: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().expect("PROPTEST_SEED must be a u64"),
+        Err(_) => base_seed(source_file, test_name),
+    };
+    let cases = match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s.parse().expect("PROPTEST_CASES must be a u32"),
+        Err(_) => config.cases,
+    };
+    let reg_path = regression_path(source_file);
+    let persisted: Vec<u64> = reg_path.as_deref().map(load_regression_seeds).unwrap_or_default();
+
+    let replay = persisted.iter().map(|&s| (s, true));
+    let fresh = (0..cases).map(|i| (base.wrapping_add(i as u64), false));
+    for (seed, is_replay) in replay.chain(fresh) {
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        let failure: Option<String> = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.message().to_string()),
+            Err(cause) => Some(
+                cause
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| cause.downcast_ref::<&str>().copied())
+                    .unwrap_or("test panicked")
+                    .to_string(),
+            ),
+        };
+        if let Some(msg) = failure {
+            if !is_replay {
+                if let Some(path) = &reg_path {
+                    persist_failure(path, test_name, seed);
+                }
+            }
+            panic!(
+                "proptest case failed: {msg}\n\
+                 test: {test_name} ({source_file})\n\
+                 seed: cc {seed:#018x}{}\n\
+                 re-run with PROPTEST_SEED={seed} PROPTEST_CASES=1 to reproduce",
+                if is_replay { " (persisted regression)" } else { "" }
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = rng.next_unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn base_seed_depends_on_name() {
+        assert_ne!(base_seed("a.rs", "t1"), base_seed("a.rs", "t2"));
+        assert_ne!(base_seed("a.rs", "t1"), base_seed("b.rs", "t1"));
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("seeds.txt");
+        fs::write(&path, "# comment\ncc 0x00000000000000ff # t\ncc 10 # t\n").unwrap();
+        assert_eq!(load_regression_seeds(&path), vec![255, 16]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end check of the regression-seed replay path: a persisted
+//! `proptest-regressions/<stem>.txt` file parallel to the source file is
+//! found, parsed, and its seeds are run before any fresh cases.
+
+use proptest::test_runner::{run, ProptestConfig, TestRng};
+use std::cell::RefCell;
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn persisted_seeds_are_replayed_first() {
+    // Lay out a fake test source plus its parallel regression dir under
+    // the package root (the test binary's working directory).
+    let root = Path::new("target/regression-replay-fixture");
+    let src_dir = root.join("tests");
+    let reg_dir = root.join("proptest-regressions");
+    fs::create_dir_all(&src_dir).unwrap();
+    fs::create_dir_all(&reg_dir).unwrap();
+    let src = src_dir.join("fake_suite.rs");
+    fs::write(&src, "// fixture\n").unwrap();
+    fs::write(
+        reg_dir.join("fake_suite.txt"),
+        "# comment line\ncc 0x00000000000000aa # first\ncc 0x00000000000000bb # second\n",
+    )
+    .unwrap();
+
+    // Zero fresh cases: the only invocations must be the two persisted
+    // seeds, in file order. The closure fingerprints each case by its
+    // RNG's first draw.
+    let draws = RefCell::new(Vec::new());
+    run(
+        ProptestConfig::with_cases(0),
+        src.to_str().unwrap(),
+        "persisted_seeds_are_replayed_first",
+        |rng| {
+            draws.borrow_mut().push(rng.next_u64());
+            Ok(())
+        },
+    );
+    let expect: Vec<u64> =
+        [0xaa_u64, 0xbb].iter().map(|&s| TestRng::from_seed(s).next_u64()).collect();
+    assert_eq!(draws.into_inner(), expect);
+}
+
+#[test]
+fn missing_regression_file_runs_fresh_cases_only() {
+    let count = RefCell::new(0u32);
+    run(
+        ProptestConfig::with_cases(5),
+        "does/not/exist/nowhere.rs",
+        "missing_regression_file_runs_fresh_cases_only",
+        |_rng| {
+            *count.borrow_mut() += 1;
+            Ok(())
+        },
+    );
+    assert_eq!(count.into_inner(), 5);
+}

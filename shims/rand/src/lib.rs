@@ -1,0 +1,113 @@
+//! Offline stand-in for `rand` providing `rngs::StdRng`, `SeedableRng`
+//! and the `RngExt::random` sampling method this workspace uses. The
+//! generator is splitmix64 — deterministic across platforms, which is all
+//! the seeded-equivalence tests require.
+
+pub mod rngs {
+    /// The workspace's standard deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0, 1)` for
+/// floats, the full range for integers).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> f32 {
+        // 24 high bits → uniform in [0, 1) with full f32 precision.
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Sampling methods on RNGs (the `rand 0.9` `Rng`/`random` surface).
+pub trait RngExt {
+    /// Sample a `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T;
+}
+
+impl RngExt for StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+/// Alias matching the upstream trait name.
+pub use RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let (x, y, z) = (a.random::<f32>(), b.random::<f32>(), c.random::<f32>());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f32 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `rayon` covering the surface this workspace uses:
+//! `par_chunks_mut(..).enumerate().for_each(..)` (genuinely threaded via
+//! `std::thread::scope`) and `par_iter()` on slices (sequential, API
+//! compatible — the only caller is the repro grid, where wall-clock does
+//! not gate the test pyramid).
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `size` to be processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { chunks: self.chunks_mut(size).collect() }
+    }
+}
+
+/// Parallel mutable chunk iterator (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { items: self.chunks.into_iter().enumerate().collect() }
+    }
+
+    /// Apply `f` to every chunk across worker threads.
+    pub fn for_each(self, f: impl Fn(&'a mut [T]) + Sync) {
+        run_parallel(self.chunks, &f);
+    }
+}
+
+/// Enumerated form of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair across worker threads.
+    pub fn for_each(self, f: impl Fn((usize, &'a mut [T])) + Sync) {
+        run_parallel(self.items, &f);
+    }
+}
+
+fn run_parallel<I: Send>(items: Vec<I>, f: &(impl Fn(I) + Sync)) {
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    // Strided round-robin keeps neighbouring (similar-cost) chunks spread
+    // across workers.
+    let mut buckets: Vec<Vec<I>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(|| {
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// `par_iter` on shared slices. Sequential under the hood: it returns the
+/// std iterator, whose `map`/`flat_map`/`collect` combinators match the
+/// rayon call-sites in this workspace.
+pub trait ParallelSlice<T> {
+    /// Iterate items (sequentially in this shim).
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+impl<T> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_matches_sequential() {
+        let mut par = vec![0u64; 1000];
+        par.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 10 + j) as u64;
+            }
+        });
+        let expect: Vec<u64> = (0..1000).collect();
+        assert_eq!(par, expect);
+    }
+
+    #[test]
+    fn par_iter_collects() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

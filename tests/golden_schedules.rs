@@ -1,0 +1,80 @@
+//! Golden-schedule snapshots: the paper-style Gantt rendering of every
+//! scheduler at `(P=8, M=8)` is frozen under `tests/golden/`. Scheduler
+//! refactors must either leave these byte-identical or consciously update
+//! the snapshots.
+//!
+//! To regenerate after an intentional scheduler change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_schedules
+//! ```
+
+use hanayo::core::config::{PipelineConfig, Scheme};
+use hanayo::core::gantt::render_paper_style;
+use hanayo::core::schedule::build_compute_schedule;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn check_snapshot(name: &str, scheme: Scheme) {
+    let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+    let cs = build_compute_schedule(&cfg).unwrap();
+    let rendered = render_paper_style(&cs);
+    let path = golden_dir().join(format!("{name}.txt"));
+
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, &rendered).unwrap();
+        return;
+    }
+
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {path:?} ({e}); \
+             regenerate with GOLDEN_UPDATE=1 cargo test --test golden_schedules"
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "{name}: schedule rendering drifted from {path:?}; if the change is \
+         intentional, regenerate with GOLDEN_UPDATE=1 cargo test --test golden_schedules"
+    );
+}
+
+#[test]
+fn golden_gpipe() {
+    check_snapshot("gpipe_p8_m8", Scheme::GPipe);
+}
+
+#[test]
+fn golden_dapple() {
+    check_snapshot("dapple_p8_m8", Scheme::Dapple);
+}
+
+#[test]
+fn golden_interleaved() {
+    check_snapshot("interleaved2_p8_m8", Scheme::Interleaved { chunks: 2 });
+}
+
+#[test]
+fn golden_chimera() {
+    check_snapshot("chimera_p8_m8", Scheme::Chimera);
+}
+
+#[test]
+fn golden_hanayo_w1() {
+    check_snapshot("hanayo_w1_p8_m8", Scheme::Hanayo { waves: 1 });
+}
+
+#[test]
+fn golden_hanayo_w2() {
+    check_snapshot("hanayo_w2_p8_m8", Scheme::Hanayo { waves: 2 });
+}
+
+#[test]
+fn golden_hanayo_w4() {
+    check_snapshot("hanayo_w4_p8_m8", Scheme::Hanayo { waves: 4 });
+}

@@ -20,10 +20,7 @@ fn headline_up_to_30_percent_over_chimera() {
     // Abstract: "up to a 30.4% increase in throughput compared to the
     // state-of-the-art approach". Require the best observed improvement
     // across the eight Fig. 9 settings to reach at least 20%.
-    let best = fig9::hanayo_over_chimera()
-        .into_iter()
-        .map(|(_, pct)| pct)
-        .fold(f64::MIN, f64::max);
+    let best = fig9::hanayo_over_chimera().into_iter().map(|(_, pct)| pct).fold(f64::MIN, f64::max);
     assert!(best >= 20.0, "best improvement over Chimera only {best:.1}%");
 }
 
@@ -41,10 +38,7 @@ fn strong_scaling_monotone_and_oom_pattern() {
     // §5.5: Hanayo handles the fixed batch at every scale; GPipe cannot at
     // 8 GPUs; speedups grow with devices.
     let bars = fig12::data();
-    let gpipe8 = bars
-        .iter()
-        .find(|b| b.devices == 8 && b.method.starts_with("GPipe"))
-        .unwrap();
+    let gpipe8 = bars.iter().find(|b| b.devices == 8 && b.method.starts_with("GPipe")).unwrap();
     assert!(gpipe8.throughput.is_none());
     let speedups = fig12::hanayo_speedups(&bars);
     assert!(speedups[0].1 > 100.0 && speedups[1].1 > speedups[0].1);

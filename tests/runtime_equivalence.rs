@@ -16,12 +16,8 @@ fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 10, total_blocks: s as usize, seed: 99 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.03,
-        loss: LossKind::Mse,
-    };
+    let trainer =
+        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.03, loss: LossKind::Mse };
     let data = synthetic_data(5, iterations, b as usize, 3, 10);
     let out = train(&trainer, &data);
     let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
@@ -89,12 +85,9 @@ fn all_schemes_agree_with_each_other_on_one_model() {
     let b = 4;
     let data = synthetic_data(17, 2, b as usize, 2, 8);
     let mut reference: Option<Vec<f32>> = None;
-    for scheme in [
-        Scheme::GPipe,
-        Scheme::Dapple,
-        Scheme::Hanayo { waves: 1 },
-        Scheme::Hanayo { waves: 3 },
-    ] {
+    for scheme in
+        [Scheme::GPipe, Scheme::Dapple, Scheme::Hanayo { waves: 1 }, Scheme::Hanayo { waves: 3 }]
+    {
         let cfg = PipelineConfig::new(2, b, scheme).unwrap();
         let schedule = build_schedule(&cfg).unwrap();
         let s = schedule.stage_map.stages;
@@ -120,12 +113,8 @@ fn data_parallel_hanayo_trains_and_replicates() {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 21 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-    };
+    let trainer =
+        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.05, loss: LossKind::Mse };
     let shards = vec![synthetic_data(31, 2, 2, 2, 8), synthetic_data(32, 2, 2, 2, 8)];
     let a = train_data_parallel(&trainer, &shards);
     let b2 = train_data_parallel(&trainer, &shards);

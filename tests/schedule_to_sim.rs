@@ -38,8 +38,7 @@ fn every_scheme_runs_on_every_cluster() {
                 r.bubble_ratio
             );
             // Compute is conserved: total busy equals total FLOPs / speed.
-            let expect: f64 = 8.0 * cost.total_fwd_flops() * 3.0
-                / cluster.effective_flops(0);
+            let expect: f64 = 8.0 * cost.total_fwd_flops() * 3.0 / cluster.effective_flops(0);
             let busy: f64 = r.device_busy.iter().sum();
             assert!(
                 (busy - expect).abs() / expect < 1e-6,
