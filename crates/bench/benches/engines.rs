@@ -16,7 +16,7 @@ use hanayo_model::builders::MicroModel;
 use hanayo_model::{CostTable, ModelConfig};
 use hanayo_runtime::trainer::{synthetic_data, train, TrainerConfig};
 use hanayo_runtime::LossKind;
-use hanayo_sim::{simulate, SimOptions};
+use hanayo_sim::{simulate, simulate_reference, SimOptions};
 use hanayo_tensor::rng::{seeded, uniform};
 use hanayo_tensor::Stage;
 
@@ -67,6 +67,66 @@ fn bench_tensor(c: &mut Criterion) {
     let (_, stash) = stage.forward(&x);
     let dy = uniform(&mut seeded(5), 8, 32, 0.5);
     g.bench_function("stage_backward", |b| b.iter(|| black_box(stage.backward(&stash, &dy))));
+    g.finish();
+}
+
+/// The indexed fast path against the seed `HashMap` engine on the full
+/// 7-scheme sweep at `P = 8, M = 8` — the workload the auto-tuner hammers.
+/// The fast path must win; the cross-engine tests separately prove the two
+/// produce bit-identical reports.
+fn bench_engine_fastpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_fastpath");
+    let schemes = [
+        Scheme::GPipe,
+        Scheme::Dapple,
+        Scheme::Interleaved { chunks: 2 },
+        Scheme::Chimera,
+        Scheme::Hanayo { waves: 1 },
+        Scheme::Hanayo { waves: 2 },
+        Scheme::Hanayo { waves: 4 },
+    ];
+    let jobs: Vec<_> = schemes
+        .iter()
+        .map(|&scheme| {
+            let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+            let schedule = build_schedule(&cfg).unwrap();
+            let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 2);
+            (schedule, cost)
+        })
+        .collect();
+    let cluster = lonestar6(8);
+    g.bench_function("indexed_sweep_p8_m8", |b| {
+        b.iter(|| {
+            for (schedule, cost) in &jobs {
+                black_box(simulate(schedule, cost, &cluster, SimOptions::default()));
+            }
+        })
+    });
+    g.bench_function("reference_sweep_p8_m8", |b| {
+        b.iter(|| {
+            for (schedule, cost) in &jobs {
+                black_box(simulate_reference(schedule, cost, &cluster, SimOptions::default()));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Parallel vs. serial evaluation of the widened tuner strategy space —
+/// same byte-identical ranking, different wall-clock (they coincide on a
+/// single-core host, where the rayon shim degrades to sequential).
+fn bench_tuner_parallelism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner_parallelism");
+    g.sample_size(10);
+    let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+    let cluster = lonestar6(8);
+    let opts = hanayo_sim::TuneOptions { min_pp: 2, ..Default::default() }.wide();
+    g.bench_function("tune_parallel_wide", |b| {
+        b.iter(|| black_box(hanayo_sim::tune(&model, &cluster, 16, 1, &opts)))
+    });
+    g.bench_function("tune_serial_wide", |b| {
+        b.iter(|| black_box(hanayo_sim::tune_serial(&model, &cluster, 16, 1, &opts)))
+    });
     g.finish();
 }
 
@@ -125,6 +185,8 @@ criterion_group!(
     benches,
     bench_scheduling,
     bench_simulator,
+    bench_engine_fastpath,
+    bench_tuner_parallelism,
     bench_tensor,
     bench_extensions,
     bench_runtime

@@ -1,0 +1,324 @@
+//! `sweep` — the auto-tuner as a command-line tool, emitting the full
+//! ranked strategy table as JSON.
+//!
+//! `cargo run --release --example auto_tune` stays the human-readable
+//! quickstart; this binary is the machine-readable counterpart: every
+//! candidate the performance model evaluated — method × waves × (P, D)
+//! factorisation × simulator ablation × micro-batch granularity — with
+//! throughput, timing split, bubble ratio and memory, plus every rejected
+//! candidate and *why* it was rejected (OOM vs. invalid shape).
+//!
+//! ```text
+//! cargo run --release -p hanayo-repro --bin sweep -- \
+//!     --model bert64 --cluster tacc --gpus 8 --batch 16 --wide --top 10
+//! ```
+//!
+//! See the README's "Strategy sweep binary" section for the JSON schema.
+
+use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink, tencent_v100};
+use hanayo_cluster::ClusterSpec;
+use hanayo_model::ModelConfig;
+use hanayo_sim::tuner::{tune, tune_serial, Rejection, TuneOptions, Tuning};
+use serde::Serialize;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    model: String,
+    cluster: String,
+    gpus: usize,
+    batch: u32,
+    micro_batch_size: u32,
+    train_bytes_per_param: u32,
+    min_pp: u32,
+    waves: Vec<u32>,
+    wide: bool,
+    serial: bool,
+    top: Option<usize>,
+    compact: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            model: "bert64".to_string(),
+            cluster: "tacc".to_string(),
+            gpus: 8,
+            batch: 16,
+            micro_batch_size: 1,
+            train_bytes_per_param: 8,
+            min_pp: 2,
+            waves: vec![1, 2, 4, 8],
+            wide: false,
+            serial: false,
+            top: None,
+            compact: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+sweep — rank every pipeline-parallel strategy for a model on a cluster
+
+USAGE: sweep [FLAGS]
+
+FLAGS (all optional):
+  --model <bert64|gpt128>        architecture to tune           [bert64]
+  --cluster <pc|fc|tacc|tc>      hardware environment           [tacc]
+  --gpus <N>                     cluster size                   [8]
+  --batch <B>                    global micro-batches/iteration [16]
+  --micro-batch-size <S>         sequences per micro-batch      [1]
+  --train-bytes-per-param <N>    8 = ZeRO-1, 16 = full Adam     [8]
+  --min-pp <P>                   smallest pipeline width        [2]
+  --waves <csv>                  Hanayo wave counts             [1,2,4,8]
+  --wide                         also sweep prefetch on/off, recv
+                                 lookaheads {1,2,4} and micro-batch
+                                 merge factors {1,2}
+  --serial                       evaluate candidates one at a time
+                                 (identical output; for verification)
+  --top <N>                      emit only the N best candidates
+  --compact                      single-line JSON (default pretty)
+  --help                         this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--model" => args.model = value("--model")?,
+            "--cluster" => args.cluster = value("--cluster")?,
+            "--gpus" => args.gpus = value("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--batch" => {
+                args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
+            "--micro-batch-size" => {
+                args.micro_batch_size = value("--micro-batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--micro-batch-size: {e}"))?
+            }
+            "--train-bytes-per-param" => {
+                args.train_bytes_per_param = value("--train-bytes-per-param")?
+                    .parse()
+                    .map_err(|e| format!("--train-bytes-per-param: {e}"))?
+            }
+            "--min-pp" => {
+                args.min_pp = value("--min-pp")?.parse().map_err(|e| format!("--min-pp: {e}"))?
+            }
+            "--waves" => {
+                args.waves = value("--waves")?
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|e| format!("--waves: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--wide" => args.wide = true,
+            "--serial" => args.serial = true,
+            "--top" => args.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
+            "--compact" => args.compact = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn model_for(name: &str) -> Result<ModelConfig, String> {
+    match name {
+        "bert64" => Ok(ModelConfig::bert64()),
+        "gpt128" => Ok(ModelConfig::gpt128()),
+        other => Err(format!("unknown model {other} (expected bert64 or gpt128)")),
+    }
+}
+
+fn cluster_for(name: &str, gpus: usize) -> Result<ClusterSpec, String> {
+    match name {
+        "pc" => Ok(pc_partial_nvlink(gpus)),
+        "fc" => Ok(fc_full_nvlink(gpus)),
+        "tacc" => Ok(lonestar6(gpus)),
+        "tc" => Ok(tencent_v100(gpus)),
+        other => Err(format!("unknown cluster {other} (expected pc, fc, tacc or tc)")),
+    }
+}
+
+/// One row of the ranked table.
+#[derive(Debug, Serialize)]
+struct RankedRow {
+    rank: usize,
+    method: String,
+    label: String,
+    pp: u32,
+    dp: u32,
+    micro_batches: u32,
+    micro_batch_size: u32,
+    prefetch: bool,
+    recv_lookahead: usize,
+    throughput_seq_per_s: f64,
+    iteration_time_s: f64,
+    pipeline_time_s: f64,
+    allreduce_time_s: f64,
+    bubble_ratio: f64,
+    peak_gb: f64,
+}
+
+/// A candidate that simulated fine but exceeded device memory.
+#[derive(Debug, Serialize)]
+struct OomRow {
+    method: String,
+    pp: u32,
+    dp: u32,
+    micro_batches: u32,
+    micro_batch_size: u32,
+    prefetch: bool,
+    peak_gb: f64,
+    capacity_gb: f64,
+    oom_devices: Vec<usize>,
+}
+
+/// A candidate that could not be evaluated at all.
+#[derive(Debug, Serialize)]
+struct InvalidRow {
+    method: String,
+    pp: u32,
+    dp: u32,
+    reason: String,
+}
+
+/// The document this binary prints.
+#[derive(Debug, Serialize)]
+struct SweepTable {
+    model: String,
+    cluster: String,
+    devices: usize,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    wide: bool,
+    candidates_evaluated: usize,
+    ranked: Vec<RankedRow>,
+    rejected_oom: Vec<OomRow>,
+    rejected_invalid_shape: Vec<InvalidRow>,
+}
+
+fn build_table(
+    args: &Args,
+    tuning: &Tuning,
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+) -> SweepTable {
+    let gb = |bytes: u64| bytes as f64 / 1e9;
+    let ranked = tuning
+        .ranked
+        .iter()
+        .take(args.top.unwrap_or(usize::MAX))
+        .enumerate()
+        .map(|(i, c)| RankedRow {
+            rank: i + 1,
+            method: c.plan.method.to_string(),
+            label: c.plan.method.label(),
+            pp: c.plan.pp,
+            dp: c.plan.dp,
+            micro_batches: c.plan.micro_batches,
+            micro_batch_size: c.plan.micro_batch_size,
+            prefetch: c.sim.prefetch,
+            recv_lookahead: c.sim.recv_lookahead,
+            throughput_seq_per_s: c.result.throughput,
+            iteration_time_s: c.result.iteration_time,
+            pipeline_time_s: c.result.pipeline_time,
+            allreduce_time_s: c.result.allreduce_time,
+            bubble_ratio: c.result.bubble_ratio,
+            peak_gb: gb(c.result.peak_mem.iter().copied().max().unwrap_or(0)),
+        })
+        .collect();
+    let mut rejected_oom = Vec::new();
+    let mut rejected_invalid_shape = Vec::new();
+    for r in &tuning.rejected {
+        match r {
+            Rejection::Oom { plan, sim, peak_bytes, capacity_bytes, devices } => {
+                rejected_oom.push(OomRow {
+                    method: plan.method.to_string(),
+                    pp: plan.pp,
+                    dp: plan.dp,
+                    micro_batches: plan.micro_batches,
+                    micro_batch_size: plan.micro_batch_size,
+                    prefetch: sim.prefetch,
+                    peak_gb: gb(*peak_bytes),
+                    capacity_gb: gb(*capacity_bytes),
+                    oom_devices: devices.clone(),
+                })
+            }
+            Rejection::InvalidShape { plan, reason, .. } => {
+                rejected_invalid_shape.push(InvalidRow {
+                    method: plan.method.to_string(),
+                    pp: plan.pp,
+                    dp: plan.dp,
+                    reason: reason.clone(),
+                })
+            }
+        }
+    }
+    SweepTable {
+        model: model.name.clone(),
+        cluster: cluster.name.clone(),
+        devices: cluster.len(),
+        global_micro_batches: args.batch,
+        micro_batch_size: args.micro_batch_size,
+        wide: args.wide,
+        candidates_evaluated: tuning.ranked.len() + tuning.rejected.len(),
+        ranked,
+        rejected_oom,
+        rejected_invalid_shape,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match model_for(&args.model) {
+        Ok(m) => m.with_train_bytes_per_param(args.train_bytes_per_param),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = match cluster_for(&args.cluster, args.gpus) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts =
+        TuneOptions { waves: args.waves.clone(), min_pp: args.min_pp, ..Default::default() };
+    if args.wide {
+        opts = opts.wide();
+    }
+
+    let run = if args.serial { tune_serial } else { tune };
+    let tuning = run(&model, &cluster, args.batch, args.micro_batch_size, &opts);
+    let table = build_table(&args, &tuning, &cluster, &model);
+    let json = if args.compact {
+        serde_json::to_string(&table)
+    } else {
+        serde_json::to_string_pretty(&table)
+    };
+    match json {
+        Ok(s) => {
+            println!("{s}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serialising the table failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

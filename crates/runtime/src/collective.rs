@@ -10,6 +10,7 @@
 use hanayo_tensor::StageGrads;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 struct Slot {
     contributions: Vec<Option<StageGrads>>,
@@ -23,12 +24,18 @@ pub struct AllreduceHub {
     world: usize,
     state: Mutex<HashMap<(u32, u32), Slot>>,
     cv: Condvar,
+    aborted: AtomicBool,
 }
 
 impl AllreduceHub {
     /// Create a hub for `world` replicas.
     pub fn new(world: usize) -> AllreduceHub {
-        AllreduceHub { world, state: Mutex::new(HashMap::new()), cv: Condvar::new() }
+        AllreduceHub {
+            world,
+            state: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        }
     }
 
     /// Number of replicas.
@@ -36,12 +43,39 @@ impl AllreduceHub {
         self.world
     }
 
+    /// Cancel the collective: wake every blocked replica and make all
+    /// current and future [`AllreduceHub::try_allreduce`] calls return
+    /// `None`. Called when a worker fails so the surviving replicas unwind
+    /// instead of waiting for a contribution that will never come.
+    pub fn abort(&self) {
+        // The store happens under the lock so a replica cannot check the
+        // flag, miss it, and then sleep past the notify.
+        let _state = self.state.lock();
+        self.aborted.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Has the collective been cancelled?
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
     /// Contribute `grads` for `(iter, stage)` as replica `rank`; blocks
-    /// until all replicas contributed and returns the rank-ordered sum.
-    pub fn allreduce(&self, iter: u32, stage: u32, rank: usize, grads: StageGrads) -> StageGrads {
+    /// until all replicas contributed and returns the rank-ordered sum,
+    /// or `None` if the collective was aborted.
+    pub fn try_allreduce(
+        &self,
+        iter: u32,
+        stage: u32,
+        rank: usize,
+        grads: StageGrads,
+    ) -> Option<StageGrads> {
         assert!(rank < self.world, "rank out of range");
         let key = (iter, stage);
         let mut state = self.state.lock();
+        if self.is_aborted() {
+            return None;
+        }
         let slot = state.entry(key).or_insert_with(|| Slot {
             contributions: vec![None; self.world],
             arrived: 0,
@@ -62,8 +96,14 @@ impl AllreduceHub {
             self.cv.notify_all();
         } else {
             while state.get(&key).is_none_or(|s| s.reduced.is_none()) {
+                if self.is_aborted() {
+                    return None;
+                }
                 self.cv.wait(&mut state);
             }
+        }
+        if self.is_aborted() {
+            return None;
         }
         let slot = state.get_mut(&key).expect("slot present");
         let out = slot.reduced.clone().expect("reduced present");
@@ -71,7 +111,13 @@ impl AllreduceHub {
         if slot.taken == self.world {
             state.remove(&key);
         }
-        out
+        Some(out)
+    }
+
+    /// [`AllreduceHub::try_allreduce`] for contexts where abort cannot
+    /// happen; panics if it does.
+    pub fn allreduce(&self, iter: u32, stage: u32, rank: usize, grads: StageGrads) -> StageGrads {
+        self.try_allreduce(iter, stage, rank, grads).expect("all-reduce aborted")
     }
 }
 
@@ -143,6 +189,23 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap().flat()).next().unwrap()
         };
         assert_eq!(run(), run(), "arrival order must not change the bits");
+    }
+
+    #[test]
+    fn abort_wakes_blocked_replicas() {
+        let stage = Stage::mlp(&mut seeded(6), 6, 1);
+        let hub = Arc::new(AllreduceHub::new(2));
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            let g = grads_scaled(&stage, 1.0);
+            // Rank 0 contributes; rank 1 never will.
+            std::thread::spawn(move || hub.try_allreduce(0, 0, 0, g))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        hub.abort();
+        assert_eq!(waiter.join().unwrap(), None, "blocked replica must wake on abort");
+        // Late arrivals bail immediately.
+        assert!(hub.try_allreduce(0, 0, 1, grads_scaled(&stage, 1.0)).is_none());
     }
 
     #[test]

@@ -29,4 +29,8 @@ pub mod mailbox;
 pub mod trainer;
 pub mod worker;
 
-pub use trainer::{train, LossKind, TrainOutput, TrainerConfig};
+pub use trainer::{
+    train, train_data_parallel, try_train, try_train_data_parallel, LossKind, TrainError,
+    TrainOutput, TrainerConfig,
+};
+pub use worker::WorkerError;

@@ -6,10 +6,39 @@
 //! arrives. Because iterations reuse tags, the match key includes the
 //! iteration number.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hanayo_core::action::MsgTag;
 use hanayo_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Cooperative cancellation latch shared by every worker of a training
+/// run. A worker that hits an invariant violation trips the flag; peers
+/// blocked in [`Mailbox::recv_abortable`] notice within one poll interval
+/// and unwind cleanly instead of deadlocking on a message that will never
+/// be sent.
+#[derive(Debug, Default)]
+pub struct AbortFlag {
+    tripped: AtomicBool,
+}
+
+impl AbortFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> AbortFlag {
+        AbortFlag::default()
+    }
+
+    /// Signal every observer to stop.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+
+    /// Has someone aborted the run?
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+}
 
 /// One in-flight tensor message.
 #[derive(Debug, Clone)]
@@ -41,6 +70,30 @@ impl Mailbox {
                 return env.tensor;
             }
             self.parked.insert((env.iter, env.tag), env.tensor);
+        }
+    }
+
+    /// Like [`Mailbox::recv`], but gives up — returning `None` — once
+    /// `abort` trips or the fabric disconnects, instead of blocking
+    /// forever on a message that will never arrive.
+    pub fn recv_abortable(&mut self, iter: u32, tag: MsgTag, abort: &AbortFlag) -> Option<Tensor> {
+        if let Some(t) = self.parked.remove(&(iter, tag)) {
+            return Some(t);
+        }
+        loop {
+            if abort.is_tripped() {
+                return None;
+            }
+            match self.rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(env) => {
+                    if env.iter == iter && env.tag == tag {
+                        return Some(env.tensor);
+                    }
+                    self.parked.insert((env.iter, env.tag), env.tensor);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
         }
     }
 

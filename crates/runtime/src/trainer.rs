@@ -2,14 +2,15 @@
 //! sequential reference implementation every schedule is checked against.
 
 use crate::collective::AllreduceHub;
-use crate::mailbox::fabric;
+use crate::mailbox::{fabric, AbortFlag};
 pub use crate::worker::LossKind;
-use crate::worker::{run_worker, IterationData, WorkerConfig, WorkerReport};
+use crate::worker::{run_worker, IterationData, WorkerConfig, WorkerError, WorkerReport};
 use hanayo_core::action::Schedule;
 use hanayo_core::ids::{DeviceId, MicroBatch};
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::Stage;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// A complete pipeline-training job description.
@@ -37,7 +38,54 @@ pub struct TrainOutput {
     pub peak_stash_bytes: Vec<usize>,
 }
 
-fn validate(cfg: &TrainerConfig) {
+/// A training run that stopped on a worker-side invariant violation. The
+/// root cause names the exact device and operation (and, for data-parallel
+/// runs, the replica); cascade entries are peers that unwound because of
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainError {
+    /// The first root-cause failure (never `WorkerError::Aborted` unless
+    /// every failure was a cascade).
+    pub primary: WorkerError,
+    /// Data-parallel replica rank the primary failure came from; `None`
+    /// for single-pipeline runs (device ids are replica-local).
+    pub replica: Option<usize>,
+    /// Every worker-reported failure as `(replica rank, error)` — rank is
+    /// 0 for single-pipeline runs.
+    pub failures: Vec<(usize, WorkerError)>,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.replica {
+            Some(r) => write!(f, "training failed on replica {r}: {}", self.primary)?,
+            None => write!(f, "training failed: {}", self.primary)?,
+        }
+        let cascades = self.failures.iter().filter(|(_, e)| e.is_cascade()).count();
+        if cascades > 0 {
+            write!(f, " ({cascades} peer worker(s) unwound)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Fold worker failures into a `TrainError`, preferring a root cause over
+/// cascades as the primary. `tag_replica` distinguishes data-parallel runs
+/// (where the rank disambiguates replica-local device ids) from
+/// single-pipeline runs.
+fn train_error(failures: Vec<(usize, WorkerError)>, tag_replica: bool) -> Option<TrainError> {
+    if failures.is_empty() {
+        return None;
+    }
+    let (rank, primary) =
+        failures.iter().find(|(_, e)| !e.is_cascade()).unwrap_or(&failures[0]).clone();
+    let replica = tag_replica.then_some(rank);
+    Some(TrainError { primary, replica, failures })
+}
+
+fn validate(cfg: &TrainerConfig, data: &[IterationData]) {
     assert_eq!(cfg.stages.len(), cfg.schedule.stage_map.stages as usize, "one module per stage");
     for group in &cfg.schedule.stage_map.groups {
         assert_eq!(
@@ -46,50 +94,92 @@ fn validate(cfg: &TrainerConfig) {
              transformation for Chimera (the paper does the same)"
         );
     }
+    let b = cfg.schedule.config.micro_batches as usize;
+    for (i, iteration) in data.iter().enumerate() {
+        assert_eq!(iteration.inputs.len(), b, "iteration {i}: one input per micro-batch");
+        assert_eq!(iteration.targets.len(), b, "iteration {i}: one target per micro-batch");
+    }
 }
 
-/// Run the schedule with real math, one OS thread per device.
+/// Run the schedule with real math, one OS thread per device. Panics (on
+/// the calling thread, with the failing device and operation) if a worker
+/// hits an invariant violation; use [`try_train`] to handle that as a
+/// value.
 pub fn train(cfg: &TrainerConfig, data: &[IterationData]) -> TrainOutput {
-    train_with_dp(cfg, data, None)
+    try_train(cfg, data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`train`], but worker-side invariant violations (the signature of
+/// a corrupt schedule) come back as a typed [`TrainError`] naming the
+/// failing device and operation instead of a cross-thread panic.
+pub fn try_train(cfg: &TrainerConfig, data: &[IterationData]) -> Result<TrainOutput, TrainError> {
+    try_train_with_dp(cfg, data, None, &Arc::new(AbortFlag::new()))
 }
 
 /// Run `dp` identical pipeline replicas, each on its own data shard, with
 /// a gradient all-reduce at every flush. `data[g]` is replica `g`'s shard;
-/// all shards must have the same iteration count.
+/// all shards must have the same iteration count. Panics on worker
+/// failure; see [`try_train_data_parallel`].
 pub fn train_data_parallel(cfg: &TrainerConfig, data: &[Vec<IterationData>]) -> TrainOutput {
+    try_train_data_parallel(cfg, data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`train_data_parallel`] with worker failures surfaced as a
+/// [`TrainError`] instead of a panic.
+pub fn try_train_data_parallel(
+    cfg: &TrainerConfig,
+    data: &[Vec<IterationData>],
+) -> Result<TrainOutput, TrainError> {
     let dp = data.len();
     assert!(dp >= 1);
     let hub = Arc::new(AllreduceHub::new(dp));
-    let outputs: Vec<TrainOutput> = std::thread::scope(|scope| {
+    // One latch across every replica: a failure anywhere must wake workers
+    // of *all* replicas (they rendezvous in the shared hub).
+    let abort = Arc::new(AbortFlag::new());
+    let outputs: Vec<Result<TrainOutput, TrainError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = data
             .iter()
             .enumerate()
             .map(|(rank, shard)| {
                 let cfg = cfg.clone();
                 let hub = Arc::clone(&hub);
-                scope.spawn(move || train_with_dp(&cfg, shard, Some((rank, hub))))
+                let abort = Arc::clone(&abort);
+                scope.spawn(move || try_train_with_dp(&cfg, shard, Some((rank, hub)), &abort))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("replica panicked")).collect()
     });
-    // Replicas end bit-identical; average their reported losses.
-    let iters = outputs[0].losses.len();
-    let losses =
-        (0..iters).map(|i| outputs.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
-    let peak = outputs.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
-    TrainOutput {
-        losses,
-        stages: outputs.into_iter().next().expect("dp >= 1").stages,
-        peak_stash_bytes: peak,
+    let mut ok = Vec::with_capacity(dp);
+    let mut failures = Vec::new();
+    for (rank, out) in outputs.into_iter().enumerate() {
+        match out {
+            Ok(o) => ok.push(o),
+            // Re-tag with the replica rank: device ids are replica-local.
+            Err(e) => failures.extend(e.failures.into_iter().map(|(_, w)| (rank, w))),
+        }
     }
+    if let Some(e) = train_error(failures, true) {
+        return Err(e);
+    }
+    // Replicas end bit-identical; average their reported losses.
+    let iters = ok[0].losses.len();
+    let losses =
+        (0..iters).map(|i| ok.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
+    let peak = ok.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
+    Ok(TrainOutput {
+        losses,
+        stages: ok.into_iter().next().expect("dp >= 1").stages,
+        peak_stash_bytes: peak,
+    })
 }
 
-fn train_with_dp(
+fn try_train_with_dp(
     cfg: &TrainerConfig,
     data: &[IterationData],
     dp: Option<(usize, Arc<AllreduceHub>)>,
-) -> TrainOutput {
-    validate(cfg);
+    abort: &Arc<AbortFlag>,
+) -> Result<TrainOutput, TrainError> {
+    validate(cfg, data);
     let p = cfg.schedule.lists.len();
     let schedule = Arc::new(cfg.schedule.clone());
     let shared_data = Arc::new(data.to_vec());
@@ -115,6 +205,7 @@ fn train_with_dp(
                     loss: cfg.loss.clone(),
                     lr: cfg.lr,
                     dp: dp.clone(),
+                    abort: Arc::clone(abort),
                 };
                 let fab = fab.clone();
                 scope.spawn(move || run_worker(wcfg, mailbox, fab))
@@ -122,6 +213,13 @@ fn train_with_dp(
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
+
+    let rank = dp.as_ref().map_or(0, |(r, _)| *r);
+    let failures: Vec<(usize, WorkerError)> =
+        reports.iter().filter_map(|r| r.error.clone().map(|e| (rank, e))).collect();
+    if let Some(e) = train_error(failures, false) {
+        return Err(e);
+    }
 
     // Reassemble the global stage vector and find the loss reporter.
     let mut stages = cfg.stages.clone();
@@ -136,7 +234,7 @@ fn train_with_dp(
             losses = report.losses;
         }
     }
-    TrainOutput { losses, stages, peak_stash_bytes: peaks }
+    Ok(TrainOutput { losses, stages, peak_stash_bytes: peaks })
 }
 
 /// The ground truth: single-device synchronous training with the same
@@ -255,6 +353,69 @@ mod tests {
         let data = vec![one.clone(); 8];
         let out = train(&TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse }, &data);
         assert!(out.losses.last().unwrap() < out.losses.first().unwrap(), "{:?}", out.losses);
+    }
+
+    #[test]
+    fn corrupt_schedule_surfaces_typed_error_not_a_poisoned_join() {
+        use hanayo_core::action::{Action, CommDir};
+        let (mut cfg, data) = job(2, 2, Scheme::Dapple);
+        // Drop device 1's first receive: its forward finds no input.
+        let list = &mut cfg.schedule.lists[1].actions;
+        let pos = list
+            .iter()
+            .position(|a| matches!(a, Action::Comm(op) if op.dir == CommDir::Recv))
+            .expect("device 1 receives activations");
+        list.remove(pos);
+        let err = try_train(&cfg, &data).unwrap_err();
+        assert!(
+            matches!(
+                err.primary,
+                crate::worker::WorkerError::MissingInput { device: DeviceId(1), .. }
+            ),
+            "unexpected primary: {}",
+            err.primary
+        );
+        // Every reported failure is either the root cause or a cascade,
+        // and a single-pipeline run carries no replica tag.
+        assert_eq!(err.replica, None);
+        assert!(err.failures.iter().all(|(_, e)| e == &err.primary || e.is_cascade()));
+    }
+
+    #[test]
+    fn data_parallel_failure_names_the_replica() {
+        use hanayo_core::action::{Action, CommDir};
+        let (mut cfg, _) = job(2, 2, Scheme::Dapple);
+        let list = &mut cfg.schedule.lists[1].actions;
+        let pos = list
+            .iter()
+            .position(|a| matches!(a, Action::Comm(op) if op.dir == CommDir::Recv))
+            .unwrap();
+        list.remove(pos);
+        // Both replicas run the same corrupt schedule; the error must say
+        // which replica each failure came from (device ids are local).
+        let shards = vec![synthetic_data(31, 1, 2, 2, 8), synthetic_data(32, 1, 2, 2, 8)];
+        let err = try_train_data_parallel(&cfg, &shards).unwrap_err();
+        assert!(err.replica.is_some(), "data-parallel errors carry the replica rank");
+        assert!(err.to_string().contains("replica"), "{err}");
+        for (rank, _) in &err.failures {
+            assert!(*rank < 2);
+        }
+    }
+
+    #[test]
+    fn train_panic_carries_the_typed_message() {
+        use hanayo_core::action::{Action, CommDir};
+        let (mut cfg, data) = job(2, 2, Scheme::Dapple);
+        let list = &mut cfg.schedule.lists[1].actions;
+        let pos = list
+            .iter()
+            .position(|a| matches!(a, Action::Comm(op) if op.dir == CommDir::Recv))
+            .unwrap();
+        list.remove(pos);
+        let result = std::panic::catch_unwind(|| train(&cfg, &data));
+        let msg = *result.unwrap_err().downcast::<String>().expect("string panic payload");
+        assert!(msg.contains("P1"), "panic must name the device: {msg}");
+        assert!(msg.contains("forward found no input"), "panic must name the op: {msg}");
     }
 
     #[test]

@@ -5,14 +5,22 @@
 //! `(stage, micro-batch)`. The flush (`OptimizerStep`) reduces slots in
 //! micro-batch order — the key to bit-exact equivalence across schedules —
 //! optionally exchanges sums with data-parallel peers, and applies SGD.
+//!
+//! Invariant violations (a forward with no input, a backward with no
+//! gradient or stash — the signature of a corrupt schedule) do **not**
+//! panic the thread: they become a typed [`WorkerError`] carried home in
+//! the [`WorkerReport`], the shared [`AbortFlag`] trips so blocked peers
+//! unwind instead of deadlocking, and the trainer reports exactly which
+//! device and operation failed.
 
 use crate::collective::AllreduceHub;
-use crate::mailbox::{Envelope, Fabric, Mailbox};
+use crate::mailbox::{AbortFlag, Envelope, Fabric, Mailbox};
 use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
 use hanayo_core::ids::{DeviceId, MicroBatch, StageId};
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::{Stage, StageGrads, StageStash, Tensor};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Loss functions the last pipeline stage can apply.
@@ -36,6 +44,135 @@ pub struct IterationData {
     pub targets: Vec<Tensor>,
 }
 
+/// A worker-side invariant violation, with enough context to name the
+/// device and operation that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// A forward found no input activation under its tag.
+    MissingInput {
+        /// Failing device.
+        device: DeviceId,
+        /// The absent message.
+        tag: MsgTag,
+    },
+    /// A backward found no output gradient under its tag.
+    MissingGradient {
+        /// Failing device.
+        device: DeviceId,
+        /// The absent message.
+        tag: MsgTag,
+    },
+    /// A backward found no stashed forward activation.
+    MissingStash {
+        /// Failing device.
+        device: DeviceId,
+        /// Micro-batch of the absent stash.
+        mb: MicroBatch,
+        /// Stage of the absent stash.
+        stage: StageId,
+    },
+    /// An action named a stage this device holds no module for.
+    MissingModule {
+        /// Failing device.
+        device: DeviceId,
+        /// The unknown stage.
+        stage: StageId,
+    },
+    /// A send had nothing parked outbound under its tag.
+    MissingOutbound {
+        /// Failing device.
+        device: DeviceId,
+        /// The absent message.
+        tag: MsgTag,
+    },
+    /// The flush found an unfilled micro-batch gradient slot.
+    MissingSlotGradient {
+        /// Failing device.
+        device: DeviceId,
+        /// Stage whose slot row is incomplete.
+        stage: StageId,
+    },
+    /// Activation stashes survived the iteration (schedule never consumed
+    /// them).
+    StashNotDrained {
+        /// Failing device.
+        device: DeviceId,
+        /// Leftover stash count.
+        remaining: usize,
+    },
+    /// Produced messages were never sent.
+    UnsentOutbound {
+        /// Failing device.
+        device: DeviceId,
+        /// Leftover message count.
+        remaining: usize,
+    },
+    /// The worker stopped because a peer failed first (cascade, not root
+    /// cause).
+    Aborted {
+        /// The device that unwound.
+        device: DeviceId,
+    },
+}
+
+impl WorkerError {
+    /// The device the error occurred on.
+    pub fn device(&self) -> DeviceId {
+        match *self {
+            WorkerError::MissingInput { device, .. }
+            | WorkerError::MissingGradient { device, .. }
+            | WorkerError::MissingStash { device, .. }
+            | WorkerError::MissingModule { device, .. }
+            | WorkerError::MissingOutbound { device, .. }
+            | WorkerError::MissingSlotGradient { device, .. }
+            | WorkerError::StashNotDrained { device, .. }
+            | WorkerError::UnsentOutbound { device, .. }
+            | WorkerError::Aborted { device } => device,
+        }
+    }
+
+    /// Is this a cascade (peer failed first) rather than a root cause?
+    pub fn is_cascade(&self) -> bool {
+        matches!(self, WorkerError::Aborted { .. })
+    }
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::MissingInput { device, tag } => {
+                write!(f, "{device}: forward found no input {tag}")
+            }
+            WorkerError::MissingGradient { device, tag } => {
+                write!(f, "{device}: backward found no gradient {tag}")
+            }
+            WorkerError::MissingStash { device, mb, stage } => {
+                write!(f, "{device}: backward found no stash for {mb} {stage}")
+            }
+            WorkerError::MissingModule { device, stage } => {
+                write!(f, "{device}: no local module for {stage}")
+            }
+            WorkerError::MissingOutbound { device, tag } => {
+                write!(f, "{device}: nothing outbound for {tag}")
+            }
+            WorkerError::MissingSlotGradient { device, stage } => {
+                write!(f, "{device}: {stage} missing a micro-batch gradient at the flush")
+            }
+            WorkerError::StashNotDrained { device, remaining } => {
+                write!(f, "{device}: {remaining} activation stash(es) never consumed")
+            }
+            WorkerError::UnsentOutbound { device, remaining } => {
+                write!(f, "{device}: {remaining} outbound message(s) never sent")
+            }
+            WorkerError::Aborted { device } => {
+                write!(f, "{device}: aborted after a peer failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
 /// Everything a worker thread needs.
 pub struct WorkerConfig {
     /// This worker's rank.
@@ -52,6 +189,8 @@ pub struct WorkerConfig {
     pub lr: f32,
     /// Data-parallel exchange (rank, hub) when training replicated.
     pub dp: Option<(usize, Arc<AllreduceHub>)>,
+    /// Run-wide cancellation latch (shared with every peer worker).
+    pub abort: Arc<AbortFlag>,
 }
 
 /// What a worker hands back when the run finishes.
@@ -64,23 +203,54 @@ pub struct WorkerReport {
     pub losses: Vec<f32>,
     /// High-water mark of resident activation-stash bytes.
     pub peak_stash_bytes: usize,
+    /// The invariant violation that stopped this worker, if any.
+    pub error: Option<WorkerError>,
 }
 
 /// Interpret the device's action list for `data.len()` iterations.
 pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -> WorkerReport {
+    let device = cfg.device;
+    let mut losses = Vec::new();
+    let mut peak_stash = 0usize;
+
+    let outcome = run_action_lists(&mut cfg, &mut mailbox, &fabric, &mut losses, &mut peak_stash);
+    let error = outcome.err();
+    if let Some(e) = &error {
+        // Wake peers blocked on messages or collectives this worker will
+        // never complete. Cascades re-trip harmlessly.
+        cfg.abort.trip();
+        if let Some((_, hub)) = &cfg.dp {
+            hub.abort();
+        }
+        debug_assert!(e.device() == device);
+    }
+
+    WorkerReport {
+        device,
+        modules: std::mem::take(&mut cfg.modules),
+        losses,
+        peak_stash_bytes: peak_stash,
+        error,
+    }
+}
+
+fn run_action_lists(
+    cfg: &mut WorkerConfig,
+    mailbox: &mut Mailbox,
+    fabric: &Fabric,
+    losses: &mut Vec<f32>,
+    peak_stash: &mut usize,
+) -> Result<(), WorkerError> {
     let schedule = Arc::clone(&cfg.schedule);
     let device = cfg.device;
     let stages = schedule.stage_map.stages;
     let micro_batches = schedule.config.micro_batches;
     let actions = &schedule.lists[device.idx()].actions;
-
-    let mut losses = Vec::new();
-    let mut peak_stash = 0usize;
+    let data_arc = Arc::clone(&cfg.data);
     let mut cur_stash = 0usize;
 
-    for (iter, data) in cfg.data.iter().enumerate() {
+    for (iter, data) in data_arc.iter().enumerate() {
         let iter = iter as u32;
-        assert_eq!(data.inputs.len(), micro_batches as usize, "inputs per micro-batch");
         // In-flight state for this iteration.
         let mut local: HashMap<MsgTag, Tensor> = HashMap::new();
         let mut outbound: HashMap<MsgTag, Tensor> = HashMap::new();
@@ -96,12 +266,15 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                         data.inputs[mb.idx()].clone()
                     } else {
                         let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Activation };
-                        local.remove(&tag).unwrap_or_else(|| panic!("missing input {tag}"))
+                        local.remove(&tag).ok_or(WorkerError::MissingInput { device, tag })?
                     };
-                    let module = cfg.modules.get(&stage.0).expect("module present");
+                    let module = cfg
+                        .modules
+                        .get(&stage.0)
+                        .ok_or(WorkerError::MissingModule { device, stage: *stage })?;
                     let (y, st) = module.forward(&x);
                     cur_stash += st.bytes();
-                    peak_stash = peak_stash.max(cur_stash);
+                    *peak_stash = (*peak_stash).max(cur_stash);
                     stash.insert((mb.0, stage.0), st);
                     if stage.0 + 1 == stages {
                         // Turnaround: loss + gradient, consumed by this
@@ -121,14 +294,23 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                 }
                 Action::Backward { mb, stage } => {
                     let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
-                    let dy = local.remove(&tag).unwrap_or_else(|| panic!("missing gradient {tag}"));
-                    let st = stash
-                        .remove(&(mb.0, stage.0))
-                        .unwrap_or_else(|| panic!("missing stash for {mb} {stage}"));
+                    let dy =
+                        local.remove(&tag).ok_or(WorkerError::MissingGradient { device, tag })?;
+                    let st = stash.remove(&(mb.0, stage.0)).ok_or(WorkerError::MissingStash {
+                        device,
+                        mb: *mb,
+                        stage: *stage,
+                    })?;
                     cur_stash -= st.bytes();
-                    let module = cfg.modules.get(&stage.0).expect("module present");
+                    let module = cfg
+                        .modules
+                        .get(&stage.0)
+                        .ok_or(WorkerError::MissingModule { device, stage: *stage })?;
                     let (dx, grads) = module.backward(&st, &dy);
-                    slots.get_mut(&stage.0).expect("slot row")[mb.idx()] = Some(grads);
+                    slots
+                        .get_mut(&stage.0)
+                        .ok_or(WorkerError::MissingModule { device, stage: *stage })?[mb.idx()] =
+                        Some(grads);
                     if stage.0 > 0 {
                         let tag = MsgTag {
                             mb: *mb,
@@ -142,11 +324,13 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                     CommDir::Send => {
                         let tensor = outbound
                             .remove(&op.tag)
-                            .unwrap_or_else(|| panic!("nothing outbound for {}", op.tag));
+                            .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
                         fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
                     }
                     CommDir::Recv => {
-                        let tensor = mailbox.recv(iter, op.tag);
+                        let tensor = mailbox
+                            .recv_abortable(iter, op.tag, &cfg.abort)
+                            .ok_or(WorkerError::Aborted { device })?;
                         local.insert(op.tag, tensor);
                     }
                 },
@@ -156,11 +340,13 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                     for op in ops.iter().filter(|o| o.dir == CommDir::Send) {
                         let tensor = outbound
                             .remove(&op.tag)
-                            .unwrap_or_else(|| panic!("nothing outbound for {}", op.tag));
+                            .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
                         fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
                     }
                     for op in ops.iter().filter(|o| o.dir == CommDir::Recv) {
-                        let tensor = mailbox.recv(iter, op.tag);
+                        let tensor = mailbox
+                            .recv_abortable(iter, op.tag, &cfg.abort)
+                            .ok_or(WorkerError::Aborted { device })?;
                         local.insert(op.tag, tensor);
                     }
                 }
@@ -168,16 +354,19 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
                     let mut stage_ids: Vec<u32> = cfg.modules.keys().copied().collect();
                     stage_ids.sort_unstable();
                     for s in stage_ids {
-                        let module = cfg.modules.get_mut(&s).expect("module present");
+                        let module = cfg.modules.get_mut(&s).expect("own key");
                         let mut total = module.zero_grads();
-                        for slot in slots.get_mut(&s).expect("slot row") {
-                            let g = slot.take().unwrap_or_else(|| {
-                                panic!("stage {s} missing a micro-batch gradient")
-                            });
+                        for slot in slots.get_mut(&s).expect("own key") {
+                            let g = slot.take().ok_or(WorkerError::MissingSlotGradient {
+                                device,
+                                stage: StageId(s),
+                            })?;
                             total.accumulate(&g);
                         }
                         if let Some((rank, hub)) = &cfg.dp {
-                            total = hub.allreduce(iter, s, *rank, total);
+                            total = hub
+                                .try_allreduce(iter, s, *rank, total)
+                                .ok_or(WorkerError::Aborted { device })?;
                         }
                         module.sgd_step(&total, cfg.lr);
                     }
@@ -185,19 +374,17 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
             }
         }
 
-        assert!(stash.is_empty(), "{device}: stash not drained");
-        assert!(outbound.is_empty(), "{device}: unsent outbound messages");
+        if !stash.is_empty() {
+            return Err(WorkerError::StashNotDrained { device, remaining: stash.len() });
+        }
+        if !outbound.is_empty() {
+            return Err(WorkerError::UnsentOutbound { device, remaining: outbound.len() });
+        }
         if holds_last_stage(&schedule, device) {
             losses.push(iter_loss / micro_batches as f32);
         }
     }
-
-    WorkerReport {
-        device,
-        modules: std::mem::take(&mut cfg.modules),
-        losses,
-        peak_stash_bytes: peak_stash,
-    }
+    Ok(())
 }
 
 /// Deliver a produced tensor: keep it local when the consumer stage lives
@@ -245,5 +432,15 @@ mod tests {
         let (l2, _) =
             apply_loss(&LossKind::CrossEntropy { labels: vec![vec![0]] }, &y, &data, MicroBatch(0));
         assert!(l2 > 0.0);
+    }
+
+    #[test]
+    fn worker_error_display_names_device_and_op() {
+        let tag = MsgTag { mb: MicroBatch(3), stage: StageId(1), payload: Payload::Activation };
+        let e = WorkerError::MissingInput { device: DeviceId(2), tag };
+        assert_eq!(e.to_string(), "P2: forward found no input act:mb3@S1");
+        assert_eq!(e.device(), DeviceId(2));
+        assert!(!e.is_cascade());
+        assert!(WorkerError::Aborted { device: DeviceId(0) }.is_cascade());
     }
 }

@@ -12,17 +12,34 @@
 //! directed link; inter-node transfers additionally serialise per node
 //! pair, modelling the shared HCA) and arrives after an extra wire
 //! latency.
+//!
+//! ## The fast path
+//!
+//! This engine is the hot loop of the auto-tuner's strategy sweep, so the
+//! per-event bookkeeping avoids hashing entirely. A schedule is first
+//! *compiled*: every `(mb, stage, payload)` message tag becomes a dense
+//! integer, every action becomes a fixed-size opcode with pre-resolved tag
+//! keys, and the §4.2 prefetch scanner's receive-group windows are
+//! extracted once per `(schedule, options)` pair instead of being rescanned
+//! at every compute start. Rendezvous state (`send/recv posted`,
+//! `scheduled`, `arrived`) then lives in flat vectors indexed by
+//! `device · ntags + tag`, and link FIFO cursors in dense per-pair tables.
+//! [`crate::reference::simulate_reference`] keeps the seed `HashMap`
+//! implementation; the two must produce bit-identical reports (the
+//! cross-engine tests and the `engine_fastpath` benches enforce this).
 
 use crate::report::{SimReport, SimSpan};
 use hanayo_cluster::ClusterSpec;
-use hanayo_core::action::{Action, CommDir, MsgTag, Schedule};
+use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
 use hanayo_core::ids::StageId;
 use hanayo_model::CostTable;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Engine knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimOptions {
     /// Post upcoming receives while computing (§4.2). On by default, as in
     /// the paper's runtime; turn off to measure the ablation.
@@ -34,7 +51,8 @@ pub struct SimOptions {
     /// Fraction of the data-parallel gradient all-reduce hidden behind the
     /// backward cooldown (DDP-style bucketing overlaps gradient
     /// communication with remaining compute; 0.8 is the conventional
-    /// well-tuned figure). Only the exposed remainder is charged.
+    /// well-tuned figure). Only the exposed remainder is charged, and the
+    /// value is clamped to `[0, 1]` at evaluation time.
     pub allreduce_overlap: f64,
 }
 
@@ -47,6 +65,139 @@ impl Default for SimOptions {
             allreduce_overlap: 0.8,
         }
     }
+}
+
+/// A non-finite or non-positive quantity that would corrupt the simulator.
+///
+/// [`Tm`]'s total order is well-defined even for NaN, but a NaN cost or
+/// bandwidth silently poisons every downstream time; negative values
+/// reorder the event heap. Inputs are therefore vetted up front: cost
+/// entries must be finite and positive, bandwidths positive (infinite is
+/// legal — loopback links), latencies finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericsError {
+    /// A per-stage cost-table entry is not finite-positive.
+    Cost {
+        /// Which table (`fwd_flops`, `bwd_flops`, `layers_per_stage`).
+        field: &'static str,
+        /// Offending stage.
+        stage: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A link bandwidth is NaN or non-positive.
+    Bandwidth {
+        /// Link source device.
+        src: usize,
+        /// Link destination device.
+        dst: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A link latency is non-finite or negative.
+    Latency {
+        /// Link source device.
+        src: usize,
+        /// Link destination device.
+        dst: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The cluster's MFU is not finite-positive.
+    Mfu {
+        /// Offending value.
+        value: f64,
+    },
+    /// `SimOptions::allreduce_overlap` is NaN or infinite.
+    Overlap {
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::Cost { field, stage, value } => {
+                write!(f, "cost table {field}[{stage}] = {value} is not finite and positive")
+            }
+            NumericsError::Bandwidth { src, dst, value } => {
+                write!(f, "link {src} -> {dst} bandwidth {value} is not positive")
+            }
+            NumericsError::Latency { src, dst, value } => {
+                write!(f, "link {src} -> {dst} latency {value} is not finite and non-negative")
+            }
+            NumericsError::Mfu { value } => {
+                write!(f, "cluster MFU {value} is not finite and positive")
+            }
+            NumericsError::Overlap { value } => {
+                write!(f, "allreduce_overlap {value} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Vet every number the engine will feed into event times. See
+/// [`NumericsError`] for the exact rules. [`crate::evaluate_plan`] calls
+/// this before simulating; [`simulate`] asserts it.
+pub fn validate_numerics(
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: &SimOptions,
+) -> Result<(), NumericsError> {
+    let check_table = |field: &'static str, table: &[f64]| {
+        for (stage, &value) in table.iter().enumerate() {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(NumericsError::Cost { field, stage, value });
+            }
+        }
+        Ok(())
+    };
+    check_table("fwd_flops", &cost.fwd_flops)?;
+    check_table("bwd_flops", &cost.bwd_flops)?;
+    check_table("layers_per_stage", &cost.layers_per_stage)?;
+    if !(cluster.mfu.is_finite() && cluster.mfu > 0.0) {
+        return Err(NumericsError::Mfu { value: cluster.mfu });
+    }
+    for src in 0..cluster.len() {
+        for dst in 0..cluster.len() {
+            let link = cluster.p2p(src, dst);
+            // Infinite bandwidth is the loopback/ideal link; NaN and
+            // non-positive values are the poison.
+            if link.bandwidth.is_nan() || link.bandwidth <= 0.0 {
+                return Err(NumericsError::Bandwidth { src, dst, value: link.bandwidth });
+            }
+            if !(link.latency.is_finite() && link.latency >= 0.0) {
+                return Err(NumericsError::Latency { src, dst, value: link.latency });
+            }
+        }
+    }
+    if !opts.allreduce_overlap.is_finite() {
+        return Err(NumericsError::Overlap { value: opts.allreduce_overlap });
+    }
+    Ok(())
+}
+
+/// Static weight and fp16-gradient bytes per device (counts replicated
+/// groups twice). Shared by both engines so their memory accounting cannot
+/// drift apart.
+pub(crate) fn static_device_mem(schedule: &Schedule, cost: &CostTable) -> (Vec<u64>, Vec<u64>) {
+    let p = schedule.lists.len();
+    let per_device_sum = |table: &[u64]| -> Vec<u64> {
+        (0..p)
+            .map(|d| {
+                schedule
+                    .stage_map
+                    .modules_on(hanayo_core::ids::DeviceId(d as u32))
+                    .iter()
+                    .map(|&(_, StageId(s))| table[s as usize])
+                    .sum()
+            })
+            .collect()
+    };
+    (per_device_sum(&cost.weight_bytes), per_device_sum(&cost.grad_bytes))
 }
 
 /// Totally-ordered wrapper for event times.
@@ -67,44 +218,186 @@ impl Ord for Tm {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
-    ComputeDone { dev: usize, mb: u32, stage: u32, backward: bool, start: f64 },
-    Arrived { dst: usize, tag: MsgTag },
+    ComputeDone { dev: u32, mb: u32, stage: u32, backward: bool, start: f64 },
+    Arrived { dst: u32, key: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum DevState {
     Idle,
     Computing,
-    WaitRecv(MsgTag),
-    /// Blocked in the batch at this action index.
-    WaitBatch(usize),
+    /// Blocked on the message with this flat tag key.
+    WaitRecv(u32),
+    /// Blocked in the batch whose members are `batch_ops[start..end]`.
+    WaitBatch(u32, u32),
     Done,
 }
 
-/// Links serialise per directed device pair inside a node and per directed
-/// node pair across nodes (one HCA per node).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum LinkKey {
-    Intra(u32, u32),
-    Inter(u32, u32),
+/// One compiled instruction: an [`Action`] with tags resolved to flat keys
+/// and batched members flattened into side arrays.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Compute {
+        mb: u32,
+        stage: u32,
+        backward: bool,
+    },
+    Send {
+        peer: u32,
+        key: u32,
+    },
+    Recv {
+        key: u32,
+    },
+    /// Members are `batch_ops[start..end]`.
+    Batch {
+        start: u32,
+        end: u32,
+    },
+    Step,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BatchMember {
+    recv: bool,
+    peer: u32,
+    key: u32,
+}
+
+/// A schedule lowered for the fast path: dense tag keys, opcode lists, and
+/// the prefetch scanner's receive-group windows extracted once.
+struct Compiled {
+    /// Dense tag-space size: `micro_batches · stages · 2`.
+    ntags: usize,
+    /// Opcode list per device.
+    ops: Vec<Vec<Op>>,
+    /// Flattened `BatchedComm` members, referenced by `Op::Batch` ranges.
+    batch_ops: Vec<BatchMember>,
+    /// Per device, per action index: `prefetch_keys[start..end]` are the
+    /// receive tags the §4.2 scanner would post at that program counter.
+    /// Only indices that can follow a compute are populated.
+    prefetch: Vec<Vec<(u32, u32)>>,
+    /// Flat storage for the prefetch windows, in exact scan order.
+    prefetch_keys: Vec<u32>,
+}
+
+fn tag_key(tag: MsgTag, stages: u32) -> u32 {
+    let payload = match tag.payload {
+        Payload::Activation => 0,
+        Payload::Gradient => 1,
+    };
+    (tag.mb.0 * stages + tag.stage.0) * 2 + payload
+}
+
+fn compile(schedule: &Schedule, opts: &SimOptions) -> Compiled {
+    let stages = schedule.stage_map.stages;
+    let ntags = (schedule.config.micro_batches * stages * 2) as usize;
+    let key = |tag: MsgTag| -> u32 {
+        let k = tag_key(tag, stages);
+        assert!((k as usize) < ntags, "tag {tag} outside the schedule's tag space");
+        k
+    };
+
+    let mut batch_ops = Vec::new();
+    let mut prefetch_keys = Vec::new();
+    let mut ops = Vec::with_capacity(schedule.lists.len());
+    let mut prefetch = Vec::with_capacity(schedule.lists.len());
+
+    for list in &schedule.lists {
+        let compiled: Vec<Op> = list
+            .actions
+            .iter()
+            .map(|action| match action {
+                Action::Forward { mb, stage } => {
+                    Op::Compute { mb: mb.0, stage: stage.0, backward: false }
+                }
+                Action::Backward { mb, stage } => {
+                    Op::Compute { mb: mb.0, stage: stage.0, backward: true }
+                }
+                Action::Comm(op) => match op.dir {
+                    CommDir::Send => Op::Send { peer: op.peer.0, key: key(op.tag) },
+                    CommDir::Recv => Op::Recv { key: key(op.tag) },
+                },
+                Action::BatchedComm(members) => {
+                    let start = batch_ops.len() as u32;
+                    batch_ops.extend(members.iter().map(|op| BatchMember {
+                        recv: op.dir == CommDir::Recv,
+                        peer: op.peer.0,
+                        key: key(op.tag),
+                    }));
+                    Op::Batch { start, end: batch_ops.len() as u32 }
+                }
+                Action::OptimizerStep => Op::Step,
+            })
+            .collect();
+
+        // Precompute the §4.2 scan for every program counter a compute can
+        // leave behind (prefetch fires at `pc + 1` of a compute action),
+        // replicating the reference scanner exactly: single receives and
+        // batches each count as one group — a batch even when it contains
+        // no receive — and members are posted in op order.
+        let mut windows = vec![(0u32, 0u32); list.actions.len() + 1];
+        for (i, window) in windows.iter_mut().enumerate() {
+            if i == 0 || !list.actions[i - 1].is_compute() {
+                continue;
+            }
+            let start = prefetch_keys.len() as u32;
+            let mut groups = 0usize;
+            for action in list.actions.iter().skip(i).take(opts.lookahead_window) {
+                match action {
+                    Action::Comm(op) if op.dir == CommDir::Recv => {
+                        prefetch_keys.push(key(op.tag));
+                        groups += 1;
+                    }
+                    Action::BatchedComm(members) => {
+                        prefetch_keys.extend(
+                            members
+                                .iter()
+                                .filter(|op| op.dir == CommDir::Recv)
+                                .map(|op| key(op.tag)),
+                        );
+                        groups += 1;
+                    }
+                    _ => {}
+                }
+                if groups >= opts.recv_lookahead {
+                    break;
+                }
+            }
+            *window = (start, prefetch_keys.len() as u32);
+        }
+
+        ops.push(compiled);
+        prefetch.push(windows);
+    }
+
+    Compiled { ntags, ops, batch_ops, prefetch, prefetch_keys }
 }
 
 struct Engine<'a> {
-    schedule: &'a Schedule,
+    compiled: &'a Compiled,
     cost: &'a CostTable,
     cluster: &'a ClusterSpec,
     opts: SimOptions,
+
+    p: usize,
+    nodes: usize,
 
     pc: Vec<usize>,
     state: Vec<DevState>,
     block_start: Vec<f64>,
     finish: Vec<f64>,
 
-    send_posted: HashMap<(usize, MsgTag), (usize, f64)>,
-    recv_posted: HashMap<(usize, MsgTag), f64>,
-    scheduled: HashSet<(usize, MsgTag)>,
-    arrived: HashSet<(usize, MsgTag)>,
-    link_free: HashMap<LinkKey, f64>,
+    /// `(src, post time)` per `device · ntags + key`.
+    send_posted: Vec<Option<(u32, f64)>>,
+    /// Post time per `device · ntags + key`.
+    recv_posted: Vec<Option<f64>>,
+    scheduled: Vec<bool>,
+    arrived: Vec<bool>,
+    /// FIFO cursor per directed intra-node device pair (`src · p + dst`).
+    intra_free: Vec<f64>,
+    /// FIFO cursor per directed node pair (`src_node · nodes + dst_node`).
+    inter_free: Vec<f64>,
 
     events: BinaryHeap<Reverse<(Tm, u64, usize)>>,
     event_pool: Vec<Ev>,
@@ -118,77 +411,59 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
+    #[inline]
+    fn slot(&self, dev: usize, key: u32) -> usize {
+        dev * self.compiled.ntags + key as usize
+    }
+
     fn push_event(&mut self, t: f64, ev: Ev) {
         self.event_pool.push(ev);
         self.events.push(Reverse((Tm(t), self.seq, self.event_pool.len() - 1)));
         self.seq += 1;
     }
 
-    fn link_key(&self, src: usize, dst: usize) -> LinkKey {
-        let (na, nb) = (self.cluster.node[src], self.cluster.node[dst]);
-        if na == nb {
-            LinkKey::Intra(src as u32, dst as u32)
-        } else {
-            LinkKey::Inter(na, nb)
-        }
-    }
-
-    /// Start the transfer for `(dst, tag)` if both halves are posted.
-    fn try_schedule(&mut self, dst: usize, tag: MsgTag) {
-        if self.scheduled.contains(&(dst, tag)) {
+    /// Start the transfer for `(dst, key)` if both halves are posted.
+    fn try_schedule(&mut self, dst: usize, key: u32) {
+        let slot = self.slot(dst, key);
+        if self.scheduled[slot] {
             return;
         }
-        let Some(&(src, t_send)) = self.send_posted.get(&(dst, tag)) else { return };
-        let Some(&t_recv) = self.recv_posted.get(&(dst, tag)) else { return };
+        let Some((src, t_send)) = self.send_posted[slot] else { return };
+        let Some(t_recv) = self.recv_posted[slot] else { return };
+        let src = src as usize;
         let ready = t_send.max(t_recv);
         let link = self.cluster.p2p(src, dst);
-        let key = self.link_key(src, dst);
-        let free = self.link_free.get(&key).copied().unwrap_or(0.0).max(ready);
+        let (na, nb) = (self.cluster.node[src], self.cluster.node[dst]);
+        let cursor = if na == nb {
+            &mut self.intra_free[src * self.p + dst]
+        } else {
+            &mut self.inter_free[na as usize * self.nodes + nb as usize]
+        };
+        let free = cursor.max(ready);
         let occupancy = if link.bandwidth.is_finite() {
             self.cost.msg_bytes as f64 / link.bandwidth
         } else {
             0.0
         };
-        self.link_free.insert(key, free + occupancy);
-        self.scheduled.insert((dst, tag));
-        self.push_event(free + occupancy + link.latency, Ev::Arrived { dst, tag });
+        *cursor = free + occupancy;
+        self.scheduled[slot] = true;
+        self.push_event(free + occupancy + link.latency, Ev::Arrived { dst: dst as u32, key });
     }
 
-    fn post_recv(&mut self, dst: usize, tag: MsgTag, now: f64) {
-        self.recv_posted.entry((dst, tag)).or_insert(now);
-        self.try_schedule(dst, tag);
-    }
-
-    fn post_send(&mut self, src: usize, dst: usize, tag: MsgTag, now: f64) {
-        self.send_posted.entry((dst, tag)).or_insert((src, now));
-        self.try_schedule(dst, tag);
-    }
-
-    /// §4.2 prefetch: at compute start, post the next `recv_lookahead`
-    /// receive groups found within the lookahead window.
-    fn prefetch(&mut self, d: usize, from: usize, now: f64) {
-        let actions = &self.schedule.lists[d].actions;
-        let mut groups = 0usize;
-        for action in actions.iter().skip(from).take(self.opts.lookahead_window) {
-            match action {
-                Action::Comm(op) if op.dir == CommDir::Recv => {
-                    self.post_recv(d, op.tag, now);
-                    groups += 1;
-                }
-                Action::BatchedComm(ops) => {
-                    for op in ops.clone() {
-                        if op.dir == CommDir::Recv {
-                            self.post_recv(d, op.tag, now);
-                        }
-                    }
-                    groups += 1;
-                }
-                _ => {}
-            }
-            if groups >= self.opts.recv_lookahead {
-                break;
-            }
+    fn post_recv(&mut self, dst: usize, key: u32, now: f64) {
+        let slot = self.slot(dst, key);
+        if self.recv_posted[slot].is_none() {
+            self.recv_posted[slot] = Some(now);
         }
+        self.try_schedule(dst, key);
+    }
+
+    fn post_send(&mut self, src: usize, dst: usize, key: u32, now: f64) {
+        let slot = self.slot(dst, key);
+        if self.send_posted[slot].is_none() {
+            self.send_posted[slot] = Some((src as u32, now));
+        }
+        self.try_schedule(dst, key);
     }
 
     /// Begin a forward/backward on device `d`; the device stays busy until
@@ -203,68 +478,76 @@ impl<'a> Engine<'a> {
         self.state[d] = DevState::Computing;
         self.pc[d] += 1;
         if self.opts.prefetch {
-            self.prefetch(d, self.pc[d], now);
+            // §4.2 prefetch from the precomputed window table.
+            let (start, end) = self.compiled.prefetch[d][self.pc[d]];
+            for i in start..end {
+                let key = self.compiled.prefetch_keys[i as usize];
+                self.post_recv(d, key, now);
+            }
         }
-        self.push_event(now + dt, Ev::ComputeDone { dev: d, mb, stage, backward, start: now });
+        self.push_event(
+            now + dt,
+            Ev::ComputeDone { dev: d as u32, mb, stage, backward, start: now },
+        );
+    }
+
+    #[inline]
+    fn batch_recvs_arrived(&self, d: usize, start: u32, end: u32) -> bool {
+        self.compiled.batch_ops[start as usize..end as usize]
+            .iter()
+            .filter(|m| m.recv)
+            .all(|m| self.arrived[d * self.compiled.ntags + m.key as usize])
     }
 
     /// Run device `d` forward from its program counter until it blocks,
     /// starts a compute, or finishes.
     fn advance(&mut self, d: usize, now: f64) {
         loop {
-            let actions = &self.schedule.lists[d].actions;
-            if self.pc[d] >= actions.len() {
+            let ops = &self.compiled.ops[d];
+            if self.pc[d] >= ops.len() {
                 if self.state[d] != DevState::Done {
                     self.state[d] = DevState::Done;
                     self.finish[d] = now;
                 }
                 return;
             }
-            match actions[self.pc[d]].clone() {
-                Action::Forward { mb, stage } => {
-                    self.start_compute(d, now, mb.0, stage.0, false);
+            match ops[self.pc[d]] {
+                Op::Compute { mb, stage, backward } => {
+                    self.start_compute(d, now, mb, stage, backward);
                     return;
                 }
-                Action::Backward { mb, stage } => {
-                    self.start_compute(d, now, mb.0, stage.0, true);
-                    return;
+                Op::Send { peer, key } => {
+                    self.post_send(d, peer as usize, key, now);
+                    self.pc[d] += 1;
                 }
-                Action::Comm(op) => match op.dir {
-                    CommDir::Send => {
-                        self.post_send(d, op.peer.idx(), op.tag, now);
-                        self.pc[d] += 1;
-                    }
-                    CommDir::Recv => {
-                        self.post_recv(d, op.tag, now);
-                        if self.arrived.contains(&(d, op.tag)) {
-                            self.pc[d] += 1;
-                        } else {
-                            self.state[d] = DevState::WaitRecv(op.tag);
-                            self.block_start[d] = now;
-                            return;
-                        }
-                    }
-                },
-                Action::BatchedComm(ops) => {
-                    for op in &ops {
-                        match op.dir {
-                            CommDir::Send => self.post_send(d, op.peer.idx(), op.tag, now),
-                            CommDir::Recv => self.post_recv(d, op.tag, now),
-                        }
-                    }
-                    let all_in = ops
-                        .iter()
-                        .filter(|o| o.dir == CommDir::Recv)
-                        .all(|o| self.arrived.contains(&(d, o.tag)));
-                    if all_in {
+                Op::Recv { key } => {
+                    self.post_recv(d, key, now);
+                    if self.arrived[self.slot(d, key)] {
                         self.pc[d] += 1;
                     } else {
-                        self.state[d] = DevState::WaitBatch(self.pc[d]);
+                        self.state[d] = DevState::WaitRecv(key);
                         self.block_start[d] = now;
                         return;
                     }
                 }
-                Action::OptimizerStep => {
+                Op::Batch { start, end } => {
+                    for i in start as usize..end as usize {
+                        let m = self.compiled.batch_ops[i];
+                        if m.recv {
+                            self.post_recv(d, m.key, now);
+                        } else {
+                            self.post_send(d, m.peer as usize, m.key, now);
+                        }
+                    }
+                    if self.batch_recvs_arrived(d, start, end) {
+                        self.pc[d] += 1;
+                    } else {
+                        self.state[d] = DevState::WaitBatch(start, end);
+                        self.block_start[d] = now;
+                        return;
+                    }
+                }
+                Op::Step => {
                     self.pc[d] += 1;
                 }
             }
@@ -274,6 +557,7 @@ impl<'a> Engine<'a> {
     fn handle(&mut self, t: f64, ev: Ev) {
         match ev {
             Ev::ComputeDone { dev, mb, stage, backward, start } => {
+                let dev = dev as usize;
                 self.busy[dev] += t - start;
                 self.spans[dev].push(SimSpan { start, end: t, mb, stage, backward });
                 let bytes = self.cost.stash_bytes[stage as usize];
@@ -286,30 +570,24 @@ impl<'a> Engine<'a> {
                 self.state[dev] = DevState::Idle;
                 self.advance(dev, t);
             }
-            Ev::Arrived { dst, tag } => {
-                self.arrived.insert((dst, tag));
+            Ev::Arrived { dst, key } => {
+                let dst = dst as usize;
+                let slot = self.slot(dst, key);
+                self.arrived[slot] = true;
                 match self.state[dst] {
-                    DevState::WaitRecv(w) if w == tag => {
+                    DevState::WaitRecv(w) if w == key => {
                         self.comm_wait[dst] += t - self.block_start[dst];
                         self.state[dst] = DevState::Idle;
                         self.pc[dst] += 1;
                         self.advance(dst, t);
                     }
-                    DevState::WaitBatch(idx) => {
-                        let Action::BatchedComm(ops) = &self.schedule.lists[dst].actions[idx]
-                        else {
-                            unreachable!("WaitBatch points at a batch")
-                        };
-                        let all_in = ops
-                            .iter()
-                            .filter(|o| o.dir == CommDir::Recv)
-                            .all(|o| self.arrived.contains(&(dst, o.tag)));
-                        if all_in {
-                            self.comm_wait[dst] += t - self.block_start[dst];
-                            self.state[dst] = DevState::Idle;
-                            self.pc[dst] += 1;
-                            self.advance(dst, t);
-                        }
+                    DevState::WaitBatch(start, end)
+                        if self.batch_recvs_arrived(dst, start, end) =>
+                    {
+                        self.comm_wait[dst] += t - self.block_start[dst];
+                        self.state[dst] = DevState::Idle;
+                        self.pc[dst] += 1;
+                        self.advance(dst, t);
                     }
                     _ => {}
                 }
@@ -319,7 +597,8 @@ impl<'a> Engine<'a> {
 }
 
 /// Execute one iteration of `schedule` on `cluster` with per-stage costs
-/// from `cost`. The cluster must have exactly the pipeline's device count.
+/// from `cost`. The cluster must have exactly the pipeline's device count,
+/// and all costs/link characteristics must pass [`validate_numerics`].
 pub fn simulate(
     schedule: &Schedule,
     cost: &CostTable,
@@ -333,37 +612,32 @@ pub fn simulate(
         schedule.stage_map.stages as usize,
         "cost table must match the stage count"
     );
+    if let Err(e) = validate_numerics(cost, cluster, &opts) {
+        panic!("invalid simulation inputs: {e}");
+    }
 
-    // Static weight memory per device (counts replicated groups twice).
-    let per_device_sum = |table: &[u64]| -> Vec<u64> {
-        (0..p)
-            .map(|d| {
-                schedule
-                    .stage_map
-                    .modules_on(hanayo_core::ids::DeviceId(d as u32))
-                    .iter()
-                    .map(|&(_, StageId(s))| table[s as usize])
-                    .sum()
-            })
-            .collect()
-    };
-    let weight_mem: Vec<u64> = per_device_sum(&cost.weight_bytes);
-    let grad_mem: Vec<u64> = per_device_sum(&cost.grad_bytes);
+    let (weight_mem, grad_mem) = static_device_mem(schedule, cost);
+    let compiled = compile(schedule, &opts);
+    let nodes = cluster.node.iter().copied().max().unwrap_or(0) as usize + 1;
+    let slots = p * compiled.ntags;
 
     let mut eng = Engine {
-        schedule,
+        compiled: &compiled,
         cost,
         cluster,
         opts,
+        p,
+        nodes,
         pc: vec![0; p],
         state: vec![DevState::Idle; p],
         block_start: vec![0.0; p],
         finish: vec![0.0; p],
-        send_posted: HashMap::new(),
-        recv_posted: HashMap::new(),
-        scheduled: HashSet::new(),
-        arrived: HashSet::new(),
-        link_free: HashMap::new(),
+        send_posted: vec![None; slots],
+        recv_posted: vec![None; slots],
+        scheduled: vec![false; slots],
+        arrived: vec![false; slots],
+        intra_free: vec![0.0; p * p],
+        inter_free: vec![0.0; nodes * nodes],
         events: BinaryHeap::new(),
         event_pool: Vec::new(),
         seq: 0,
@@ -407,7 +681,8 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hanayo_cluster::topology::{fc_full_nvlink, lonestar6};
+    use crate::reference::simulate_reference;
+    use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, paper_clusters};
     use hanayo_core::config::{PipelineConfig, Scheme};
     use hanayo_core::schedule::build_schedule;
     use hanayo_model::{CostTable, ModelConfig};
@@ -532,5 +807,72 @@ mod tests {
         let r = run(8, 8, Scheme::Dapple, &lonestar6(8), SimOptions::default());
         let total_wait: f64 = r.device_comm_wait.iter().sum();
         assert!(total_wait > 0.0);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bitwise_across_clusters_and_options() {
+        for cluster in paper_clusters(8) {
+            for scheme in
+                [Scheme::GPipe, Scheme::Dapple, Scheme::Chimera, Scheme::Hanayo { waves: 2 }]
+            {
+                for opts in [
+                    SimOptions::default(),
+                    SimOptions { prefetch: false, ..Default::default() },
+                    SimOptions { recv_lookahead: 3, lookahead_window: 16, ..Default::default() },
+                ] {
+                    let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+                    let schedule = build_schedule(&cfg).unwrap();
+                    let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+                    let fast = simulate(&schedule, &cost, &cluster, opts);
+                    let slow = simulate_reference(&schedule, &cost, &cluster, opts);
+                    assert_eq!(fast, slow, "{}/{scheme}: engines diverged", cluster.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numerics_validation_rejects_nan_costs() {
+        let cluster = fc_full_nvlink(4);
+        let mut cost = CostTable::build(&ModelConfig::bert64(), 4, 1);
+        cost.bwd_flops[2] = f64::NAN;
+        let err = validate_numerics(&cost, &cluster, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::Cost { field: "bwd_flops", stage: 2, .. }));
+    }
+
+    #[test]
+    fn numerics_validation_rejects_bad_links() {
+        let cost = CostTable::build(&ModelConfig::bert64(), 4, 1);
+        let mut cluster = fc_full_nvlink(4);
+        cluster.links[1][2].bandwidth = -1.0;
+        assert!(matches!(
+            validate_numerics(&cost, &cluster, &SimOptions::default()),
+            Err(NumericsError::Bandwidth { src: 1, dst: 2, .. })
+        ));
+        let mut cluster = fc_full_nvlink(4);
+        cluster.links[0][3].latency = f64::NAN;
+        assert!(matches!(
+            validate_numerics(&cost, &cluster, &SimOptions::default()),
+            Err(NumericsError::Latency { src: 0, dst: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn numerics_validation_allows_ideal_links() {
+        // Loopback links are infinite-bandwidth, zero-latency — legal.
+        let cost = CostTable::build(&ModelConfig::bert64(), 4, 1);
+        let cluster = fc_full_nvlink(4);
+        assert_eq!(validate_numerics(&cost, &cluster, &SimOptions::default()), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation inputs")]
+    fn simulate_panics_on_nan_bandwidth() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+        let mut cluster = fc_full_nvlink(4);
+        cluster.links[0][1].bandwidth = f64::NAN;
+        simulate(&schedule, &cost, &cluster, SimOptions::default());
     }
 }

@@ -30,10 +30,12 @@
 
 pub mod engine;
 pub mod plan;
+pub mod reference;
 pub mod report;
 pub mod tuner;
 
-pub use engine::{simulate, SimOptions};
+pub use engine::{simulate, validate_numerics, NumericsError, SimOptions};
 pub use plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
+pub use reference::simulate_reference;
 pub use report::SimReport;
-pub use tuner::{tune, TuneOptions, Tuning};
+pub use tuner::{tune, tune_serial, Candidate, Rejection, TuneOptions, Tuning};

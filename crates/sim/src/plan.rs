@@ -6,7 +6,7 @@
 //! re-interpreted as two data-parallel 1-wave pipelines on `P/2` devices
 //! each (Fig. 5), so that every method holds exactly one weight copy.
 
-use crate::engine::{simulate, SimOptions};
+use crate::engine::{simulate, validate_numerics, NumericsError, SimOptions};
 use crate::report::SimReport;
 use hanayo_cluster::collective::ring_allreduce_time;
 use hanayo_cluster::ClusterSpec;
@@ -89,6 +89,10 @@ pub enum PlanError {
     OddChimeraSplit,
     /// The pipeline schedule could not be generated.
     Schedule(ScheduleError),
+    /// A cost or link quantity was NaN, infinite or non-positive — it would
+    /// corrupt the simulator's event ordering (see
+    /// [`crate::engine::validate_numerics`]).
+    Numerics(NumericsError),
 }
 
 impl fmt::Display for PlanError {
@@ -99,6 +103,7 @@ impl fmt::Display for PlanError {
             }
             PlanError::OddChimeraSplit => write!(f, "Chimera-wave needs even P and B"),
             PlanError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
+            PlanError::Numerics(e) => write!(f, "invalid simulation inputs: {e}"),
         }
     }
 }
@@ -182,6 +187,9 @@ pub fn evaluate_plan(
     let cfg = PipelineConfig::new(pp_eff, b_eff, scheme)?;
     let schedule = build_schedule(&cfg)?;
     let cost = CostTable::build(model, cfg.stages(), plan.micro_batch_size);
+    // Vet numerics before anything reaches the event heap: a NaN cost or
+    // bandwidth would otherwise silently corrupt every simulated time.
+    validate_numerics(&cost, cluster, &opts).map_err(PlanError::Numerics)?;
 
     // Simulate each group on its contiguous device slice.
     let mut peak_mem = vec![0u64; cluster.len()];
@@ -339,6 +347,59 @@ mod tests {
         );
         assert!(g.is_oom(), "GPipe peak {:?}", g.peak_mem.iter().max());
         assert!(!h.is_oom(), "Hanayo peak {:?}", h.peak_mem.iter().max());
+    }
+
+    #[test]
+    fn overlap_outside_unit_interval_is_clamped() {
+        // overlap = 1.5 must not produce negative exposed all-reduce time
+        // (which would inflate throughput past the overlap = 1.0 bound).
+        let cluster = fc_full_nvlink(8);
+        let p = plan(Method::Hanayo { waves: 2 }, 2, 4, 4);
+        let at = |overlap: f64| {
+            evaluate_plan(
+                &p,
+                &ModelConfig::bert64(),
+                &cluster,
+                SimOptions { allreduce_overlap: overlap, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let over = at(1.5);
+        assert_eq!(over.allreduce_time, 0.0, "exposed all-reduce went negative");
+        assert_eq!(over.throughput, at(1.0).throughput);
+        let under = at(-0.5);
+        assert_eq!(under.allreduce_time, at(0.0).allreduce_time);
+        assert!(under.throughput <= over.throughput);
+    }
+
+    #[test]
+    fn nan_overlap_is_rejected_not_simulated() {
+        let cluster = fc_full_nvlink(8);
+        let err = evaluate_plan(
+            &plan(Method::Dapple, 2, 4, 4),
+            &ModelConfig::bert64(),
+            &cluster,
+            SimOptions { allreduce_overlap: f64::NAN, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Numerics(NumericsError::Overlap { .. })));
+    }
+
+    #[test]
+    fn corrupt_cluster_is_rejected_not_simulated() {
+        let mut cluster = fc_full_nvlink(8);
+        cluster.links[3][4].bandwidth = f64::NAN;
+        let err = evaluate_plan(
+            &plan(Method::Dapple, 1, 8, 8),
+            &ModelConfig::bert64(),
+            &cluster,
+            SimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Numerics(NumericsError::Bandwidth { src: 3, dst: 4, .. })
+        ));
     }
 
     #[test]

@@ -4,14 +4,35 @@
 //! strategies to attain optimal performance" (§1, §6).
 //!
 //! Given a model, a cluster and a global batch, [`tune`] sweeps the whole
-//! strategy space — method × wave count × (P, D) factorisations — through
-//! the discrete-event simulator, discards OOM plans, and ranks the rest by
-//! throughput. [`Tuning::best`] is the plan a user should run.
+//! strategy space — method × wave count × (P, D) factorisations, optionally
+//! widened with simulator ablations (prefetch on/off, `recv_lookahead`) and
+//! micro-batch granularities — through the discrete-event simulator,
+//! records every rejection, and ranks the rest by throughput.
+//! [`Tuning::best`] is the plan a user should run.
+//!
+//! ## Parallel evaluation and determinism
+//!
+//! Candidates are simulated concurrently (`par_iter` over the candidate
+//! list); the final ranking is nevertheless *byte-identical* to a serial
+//! run ([`tune_serial`]) because results are collected in candidate order
+//! and the ranking is a stable sort on `(throughput, plan)` keys — worker
+//! interleaving never leaks into the output. A property test pits the two
+//! against each other on random `(model, cluster, batch)` triples.
+//!
+//! ## Rejections
+//!
+//! Infeasible candidates are not silently dropped: each one carries a
+//! [`Rejection`] — [`Rejection::Oom`] with the offending peak bytes and
+//! device capacity, or [`Rejection::InvalidShape`] with the plan-level
+//! reason (indivisible batch, odd Chimera split, cluster too small,
+//! corrupt numerics). The sweep binary (`cargo run -p hanayo-repro --bin
+//! sweep`) emits both tables as JSON.
 
 use crate::engine::SimOptions;
 use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 use hanayo_cluster::ClusterSpec;
 use hanayo_model::ModelConfig;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One evaluated candidate.
@@ -19,23 +40,79 @@ use serde::{Deserialize, Serialize};
 pub struct Candidate {
     /// The plan.
     pub plan: ParallelPlan,
+    /// The simulator options it was evaluated under (the sweep may ablate
+    /// prefetching or vary the receive lookahead per candidate).
+    pub sim: SimOptions,
     /// Its simulated outcome.
     pub result: PlanResult,
+}
+
+/// Why a candidate was excluded from the ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rejection {
+    /// The plan simulated fine but some device exceeded its memory.
+    Oom {
+        /// The rejected plan.
+        plan: ParallelPlan,
+        /// The simulator options it was evaluated under.
+        sim: SimOptions,
+        /// Highest per-device peak, bytes.
+        peak_bytes: u64,
+        /// Capacity of the most overloaded device, bytes.
+        capacity_bytes: u64,
+        /// Global ranks of the devices that overflowed.
+        devices: Vec<usize>,
+    },
+    /// The plan could not be evaluated at all (indivisible batch, odd
+    /// Chimera split, cluster too small, schedule generation failure,
+    /// corrupt numerics).
+    InvalidShape {
+        /// The rejected plan.
+        plan: ParallelPlan,
+        /// The simulator options it was evaluated under.
+        sim: SimOptions,
+        /// Human-readable reason (the underlying error's display form).
+        reason: String,
+    },
+}
+
+impl Rejection {
+    /// The plan this rejection refers to.
+    pub fn plan(&self) -> &ParallelPlan {
+        match self {
+            Rejection::Oom { plan, .. } | Rejection::InvalidShape { plan, .. } => plan,
+        }
+    }
+
+    /// Is this a memory rejection?
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Rejection::Oom { .. })
+    }
 }
 
 /// The ranked search outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tuning {
-    /// Feasible candidates, best throughput first.
+    /// Feasible candidates, best throughput first (ties broken by plan
+    /// shape, so the order is fully deterministic).
     pub ranked: Vec<Candidate>,
-    /// Candidates rejected for memory, as `(plan, highest peak bytes)`.
-    pub rejected_oom: Vec<(ParallelPlan, u64)>,
+    /// Every infeasible candidate with the reason it was rejected.
+    pub rejected: Vec<Rejection>,
 }
 
 impl Tuning {
     /// The winning candidate (None if nothing fits).
     pub fn best(&self) -> Option<&Candidate> {
         self.ranked.first()
+    }
+
+    /// The memory rejections, as `(plan, highest peak bytes)` — the shape
+    /// of the pre-`Rejection` API, kept for convenience.
+    pub fn rejected_oom(&self) -> impl Iterator<Item = (&ParallelPlan, u64)> {
+        self.rejected.iter().filter_map(|r| match r {
+            Rejection::Oom { plan, peak_bytes, .. } => Some((plan, *peak_bytes)),
+            Rejection::InvalidShape { .. } => None,
+        })
     }
 }
 
@@ -49,8 +126,20 @@ pub struct TuneOptions {
     /// Minimum pipeline width to consider (deep models cannot shrink `P`
     /// below their memory share).
     pub min_pp: u32,
-    /// Simulator options.
+    /// Baseline simulator options.
     pub sim: SimOptions,
+    /// Also evaluate every candidate with prefetching disabled (the §4.2
+    /// ablation), doubling that slice of the space.
+    pub sweep_prefetch: bool,
+    /// Additional `recv_lookahead` values to sweep on top of
+    /// `sim.recv_lookahead` (duplicates are skipped).
+    pub recv_lookaheads: Vec<usize>,
+    /// Micro-batch merge factors: factor `m` evaluates the same work as
+    /// `m`-fold larger micro-batches (`B/m` micro-batches of `m ×
+    /// micro_batch_size` sequences — identical sequences per iteration,
+    /// different pipeline granularity). Factors that do not divide a
+    /// candidate's micro-batch count are recorded as shape rejections.
+    pub micro_batch_merges: Vec<u32>,
 }
 
 impl Default for TuneOptions {
@@ -60,15 +149,199 @@ impl Default for TuneOptions {
             waves: vec![1, 2, 4, 8],
             min_pp: 2,
             sim: SimOptions::default(),
+            sweep_prefetch: false,
+            recv_lookaheads: Vec::new(),
+            micro_batch_merges: vec![1],
         }
     }
 }
 
-/// Sweep the strategy space and rank feasible plans by throughput.
+impl TuneOptions {
+    /// The widest built-in space: prefetch ablation, lookaheads {1, 2, 4},
+    /// micro-batch merge factors {1, 2}.
+    pub fn wide(self) -> TuneOptions {
+        TuneOptions {
+            sweep_prefetch: true,
+            recv_lookaheads: vec![1, 2, 4],
+            micro_batch_merges: vec![1, 2],
+            ..self
+        }
+    }
+
+    /// The simulator-option variants this search sweeps, deduplicated, in
+    /// deterministic order. `recv_lookahead` is meaningless without
+    /// prefetching, so prefetch-off variants are normalised to the base
+    /// lookahead — behaviourally identical candidates collapse to one.
+    fn sim_variants(&self) -> Vec<SimOptions> {
+        let mut variants: Vec<SimOptions> = Vec::new();
+        let push = |v: SimOptions, variants: &mut Vec<SimOptions>| {
+            let v = if v.prefetch {
+                v
+            } else {
+                SimOptions { recv_lookahead: self.sim.recv_lookahead, ..v }
+            };
+            if !variants.contains(&v) {
+                variants.push(v);
+            }
+        };
+        push(self.sim, &mut variants);
+        for &la in &self.recv_lookaheads {
+            push(SimOptions { recv_lookahead: la, ..self.sim }, &mut variants);
+        }
+        if self.sweep_prefetch {
+            push(SimOptions { prefetch: false, ..self.sim }, &mut variants);
+        }
+        variants
+    }
+}
+
+/// A fully deterministic total order on candidates, used to break
+/// throughput ties so the ranking never depends on enumeration order.
+fn plan_key(plan: &ParallelPlan, sim: &SimOptions) -> impl Ord {
+    let method = match plan.method {
+        Method::GPipe => (0u32, 0u32),
+        Method::Dapple => (1, 0),
+        Method::ChimeraWave => (2, 0),
+        Method::ChimeraNative => (3, 0),
+        Method::Hanayo { waves } => (4, waves),
+    };
+    (
+        plan.pp,
+        plan.dp,
+        method,
+        plan.micro_batches,
+        plan.micro_batch_size,
+        !sim.prefetch,
+        sim.recv_lookahead,
+    )
+}
+
+/// Enumerate the candidate space in deterministic order: `(P, D)`
+/// factorisations × micro-batch merges × methods × simulator variants.
+fn candidate_space(
+    cluster_devices: u32,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+) -> Vec<(ParallelPlan, SimOptions, Option<String>)> {
+    let mut methods = opts.methods.clone();
+    methods.extend(opts.waves.iter().map(|&w| Method::Hanayo { waves: w }));
+    let variants = opts.sim_variants();
+
+    let mut out = Vec::new();
+    for pp in (opts.min_pp..=cluster_devices).filter(|pp| cluster_devices.is_multiple_of(*pp)) {
+        let dp = cluster_devices / pp;
+        if !global_micro_batches.is_multiple_of(dp) {
+            // A genuine strategy that cannot run: recorded (once per
+            // method × simulator variant), not silently skipped, so the
+            // sweep output explains the whole space.
+            let reason = format!("global batch {global_micro_batches} not divisible by D={dp}");
+            for &method in &methods {
+                for &sim in &variants {
+                    out.push((
+                        ParallelPlan {
+                            method,
+                            dp,
+                            pp,
+                            micro_batches: global_micro_batches,
+                            micro_batch_size,
+                        },
+                        sim,
+                        Some(reason.clone()),
+                    ));
+                }
+            }
+            continue;
+        }
+        let per_group = global_micro_batches / dp;
+        // A merge factor that does not divide the per-group batch names a
+        // granularity that does not exist for this factorisation — there
+        // is no candidate to reject, so it is skipped (duplicate and zero
+        // factors likewise).
+        let mut seen = Vec::new();
+        for &merge in &opts.micro_batch_merges {
+            if merge == 0 || !per_group.is_multiple_of(merge) || seen.contains(&merge) {
+                continue;
+            }
+            seen.push(merge);
+            for &method in &methods {
+                for &sim in &variants {
+                    out.push((
+                        ParallelPlan {
+                            method,
+                            dp,
+                            pp,
+                            micro_batches: per_group / merge,
+                            micro_batch_size: micro_batch_size * merge,
+                        },
+                        sim,
+                        None,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn assemble(
+    evaluated: Vec<(ParallelPlan, SimOptions, Result<PlanResult, String>)>,
+    cluster: &ClusterSpec,
+) -> Tuning {
+    let mut ranked = Vec::new();
+    let mut rejected = Vec::new();
+    for (plan, sim, outcome) in evaluated {
+        match outcome {
+            Ok(result) if result.is_oom() => {
+                // Report the worst of the devices that actually overflowed
+                // (on heterogeneous-memory clusters the globally highest
+                // peak can live on a device that fits).
+                let (worst, peak) = result
+                    .oom_devices
+                    .iter()
+                    .map(|&d| (d, result.peak_mem[d]))
+                    .max_by_key(|&(_, m)| m)
+                    .unwrap_or((0, 0));
+                rejected.push(Rejection::Oom {
+                    plan,
+                    sim,
+                    peak_bytes: peak,
+                    capacity_bytes: cluster.memory(worst),
+                    devices: result.oom_devices.clone(),
+                });
+            }
+            Ok(result) => ranked.push(Candidate { plan, sim, result }),
+            Err(reason) => rejected.push(Rejection::InvalidShape { plan, sim, reason }),
+        }
+    }
+    ranked.sort_by(|a, b| {
+        b.result
+            .throughput
+            .total_cmp(&a.result.throughput)
+            .then_with(|| plan_key(&a.plan, &a.sim).cmp(&plan_key(&b.plan, &b.sim)))
+    });
+    Tuning { ranked, rejected }
+}
+
+fn evaluate_candidate(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    (plan, sim, shape_reason): &(ParallelPlan, SimOptions, Option<String>),
+) -> (ParallelPlan, SimOptions, Result<PlanResult, String>) {
+    let outcome = match shape_reason {
+        Some(reason) => Err(reason.clone()),
+        None => evaluate_plan(plan, model, cluster, *sim).map_err(|e| e.to_string()),
+    };
+    (*plan, *sim, outcome)
+}
+
+/// Sweep the strategy space and rank feasible plans by throughput,
+/// evaluating candidates in parallel. The ranking is byte-identical to
+/// [`tune_serial`] — see the module docs.
 ///
 /// `global_micro_batches` is the batch per iteration across the whole
 /// cluster; each candidate splits it evenly over its data-parallel groups
-/// (plans whose `D` does not divide it are skipped).
+/// (plans whose `D` does not divide it are recorded as shape rejections).
 pub fn tune(
     model: &ModelConfig,
     cluster: &ClusterSpec,
@@ -76,33 +349,26 @@ pub fn tune(
     micro_batch_size: u32,
     opts: &TuneOptions,
 ) -> Tuning {
-    let n = cluster.len() as u32;
-    let mut ranked = Vec::new();
-    let mut rejected = Vec::new();
+    let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
+    let evaluated: Vec<_> =
+        space.par_iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
+    assemble(evaluated, cluster)
+}
 
-    let mut methods = opts.methods.clone();
-    methods.extend(opts.waves.iter().map(|&w| Method::Hanayo { waves: w }));
-
-    for pp in (opts.min_pp..=n).filter(|pp| n.is_multiple_of(*pp)) {
-        let dp = n / pp;
-        if !global_micro_batches.is_multiple_of(dp) {
-            continue;
-        }
-        let b = global_micro_batches / dp;
-        for &method in &methods {
-            let plan = ParallelPlan { method, dp, pp, micro_batches: b, micro_batch_size };
-            let Ok(result) = evaluate_plan(&plan, model, cluster, opts.sim) else {
-                continue;
-            };
-            if result.is_oom() {
-                rejected.push((plan, result.peak_mem.iter().copied().max().unwrap_or(0)));
-            } else {
-                ranked.push(Candidate { plan, result });
-            }
-        }
-    }
-    ranked.sort_by(|a, b| b.result.throughput.total_cmp(&a.result.throughput));
-    Tuning { ranked, rejected_oom: rejected }
+/// The serial reference for [`tune`]: identical candidate space, identical
+/// ranking, one candidate at a time. Exists so tests (and sceptical users)
+/// can verify that parallel evaluation never changes the answer.
+pub fn tune_serial(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+) -> Tuning {
+    let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
+    let evaluated: Vec<_> =
+        space.iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
+    assemble(evaluated, cluster)
 }
 
 #[cfg(test)]
@@ -150,9 +416,15 @@ mod tests {
         // must be rejected for memory and carry their peak.
         let model = ModelConfig::bert64();
         let t = tune(&model, &lonestar6(8), 16, 4, &opts());
-        assert!(!t.rejected_oom.is_empty(), "expected OOM rejections");
-        for (_, peak) in &t.rejected_oom {
-            assert!(*peak > 38_000_000_000);
+        assert!(t.rejected.iter().any(Rejection::is_oom), "expected OOM rejections");
+        for (_, peak) in t.rejected_oom() {
+            assert!(peak > 38_000_000_000);
+        }
+        for r in &t.rejected {
+            if let Rejection::Oom { peak_bytes, capacity_bytes, devices, .. } = r {
+                assert!(peak_bytes > capacity_bytes);
+                assert!(!devices.is_empty());
+            }
         }
         for c in &t.ranked {
             assert!(!c.result.is_oom());
@@ -160,13 +432,56 @@ mod tests {
     }
 
     #[test]
-    fn indivisible_batches_are_skipped_not_crashed() {
+    fn indivisible_batches_are_rejected_with_reasons_not_crashed() {
         let model = ModelConfig::gpt128().with_train_bytes_per_param(8);
         // 7 micro-batches over 8 devices: only D=1 factorisations apply.
         let t = tune(&model, &fc_full_nvlink(8), 7, 1, &opts());
         for c in &t.ranked {
-            assert_eq!(c.plan.dp * c.plan.micro_batches, 7 * c.plan.dp / c.plan.dp);
             assert_eq!(c.plan.dp, 1);
+        }
+        // The D=2 slice of the space is recorded as shape rejections.
+        assert!(
+            t.rejected.iter().any(|r| !r.is_oom() && r.plan().dp == 2),
+            "{:?}",
+            t.rejected.len()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = lonestar6(8);
+        let wide = opts().wide();
+        let par = tune(&model, &cluster, 16, 1, &wide);
+        let ser = tune_serial(&model, &cluster, 16, 1, &wide);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn wide_space_contains_ablations_and_merges() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let t = tune(&model, &fc_full_nvlink(8), 16, 1, &opts().wide());
+        assert!(t.ranked.iter().any(|c| !c.sim.prefetch), "prefetch ablation missing");
+        assert!(t.ranked.iter().any(|c| c.sim.recv_lookahead == 4), "lookahead sweep missing");
+        assert!(t.ranked.iter().any(|c| c.plan.micro_batch_size == 2), "micro-batch merge missing");
+        // Merged candidates process the same sequences per iteration.
+        for c in &t.ranked {
+            assert_eq!(c.plan.dp * c.plan.micro_batches * c.plan.micro_batch_size, 16);
+        }
+    }
+
+    #[test]
+    fn prefetch_ablation_never_outranks_prefetch_for_same_plan() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let t = tune(&model, &lonestar6(8), 8, 1, &TuneOptions { sweep_prefetch: true, ..opts() });
+        for on in t.ranked.iter().filter(|c| c.sim.prefetch) {
+            if let Some(off) = t.ranked.iter().find(|c| {
+                !c.sim.prefetch
+                    && c.plan == on.plan
+                    && c.sim.recv_lookahead == on.sim.recv_lookahead
+            }) {
+                assert!(on.result.throughput >= off.result.throughput * (1.0 - 1e-9));
+            }
         }
     }
 }

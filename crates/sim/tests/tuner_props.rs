@@ -1,0 +1,68 @@
+//! Property tests for the parallel tuner: across random `(model, cluster,
+//! batch)` triples, parallel evaluation must return a [`Tuning`] that is
+//! **byte-identical** (per its JSON serialisation) to the serial reference
+//! run — worker interleaving must never leak into the ranking.
+
+use hanayo_cluster::topology::paper_clusters;
+use hanayo_model::ModelConfig;
+use hanayo_sim::tuner::{tune, tune_serial, TuneOptions};
+use proptest::prelude::*;
+
+fn pick_model(idx: usize) -> ModelConfig {
+    let m = if idx == 0 { ModelConfig::bert64() } else { ModelConfig::gpt128() };
+    m.with_train_bytes_per_param(8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_tuning_is_byte_identical_to_serial(
+        model_idx in 0usize..2,
+        cluster_idx in 0usize..4,
+        batch in 4u32..=16,
+        micro_batch_size in 1u32..=2,
+        wide in 0u8..2,
+    ) {
+        let model = pick_model(model_idx);
+        let cluster = paper_clusters(8).remove(cluster_idx);
+        let mut opts = TuneOptions { min_pp: 4, ..Default::default() };
+        if wide == 1 {
+            opts = opts.wide();
+        }
+        let par = tune(&model, &cluster, batch, micro_batch_size, &opts);
+        let ser = tune_serial(&model, &cluster, batch, micro_batch_size, &opts);
+        prop_assert_eq!(&par, &ser, "structural divergence");
+        let par_bytes = serde_json::to_string(&par).expect("tuning serialises");
+        let ser_bytes = serde_json::to_string(&ser).expect("tuning serialises");
+        prop_assert_eq!(par_bytes, ser_bytes, "byte divergence");
+    }
+
+    #[test]
+    fn every_candidate_is_ranked_or_rejected(
+        model_idx in 0usize..2,
+        cluster_idx in 0usize..4,
+        batch in 4u32..=12,
+    ) {
+        // The widened space never loses candidates: repeated runs agree on
+        // the exact partition sizes, and nothing is both ranked and
+        // rejected.
+        let model = pick_model(model_idx);
+        let cluster = paper_clusters(8).remove(cluster_idx);
+        let opts = TuneOptions { min_pp: 4, ..Default::default() }.wide();
+        let a = tune(&model, &cluster, batch, 1, &opts);
+        let b = tune(&model, &cluster, batch, 1, &opts);
+        prop_assert_eq!(a.ranked.len(), b.ranked.len());
+        prop_assert_eq!(a.rejected.len(), b.rejected.len());
+        for c in &a.ranked {
+            let also_rejected = a.rejected.iter().any(|r| {
+                let sim = match r {
+                    hanayo_sim::Rejection::Oom { sim, .. } => sim,
+                    hanayo_sim::Rejection::InvalidShape { sim, .. } => sim,
+                };
+                r.plan() == &c.plan && *sim == c.sim
+            });
+            prop_assert!(!also_rejected, "candidate both ranked and rejected");
+        }
+    }
+}

@@ -59,4 +59,33 @@ fn main() {
             println!("  {:<6}: W = {w} at {t:.2} sequences/s", cluster.name);
         }
     }
+
+    // The §4.2 ablation as a simulator-option sweep: the same H-2 plan
+    // under prefetch on/off and deeper receive lookaheads. Slow fabrics
+    // reward early receive posting; NVSwitch barely notices.
+    println!("\nPrefetch/lookahead ablation (Hanayo W=2, P=8, B=8, seq/s):\n");
+    println!("{:<6} {:>10} {:>10} {:>12}", "", "prefetch", "no-pref", "lookahead=4");
+    let plan = ParallelPlan {
+        method: Method::Hanayo { waves: 2 },
+        dp: 1,
+        pp: 8,
+        micro_batches: 8,
+        micro_batch_size: 1,
+    };
+    for cluster in paper_clusters(8) {
+        let thr = |opts: SimOptions| {
+            evaluate_plan(&plan, &model, &cluster, opts)
+                .ok()
+                .filter(|r| !r.is_oom())
+                .map(|r| format!("{:.2}", r.throughput))
+                .unwrap_or_else(|| "n/a".to_string())
+        };
+        println!(
+            "{:<6} {:>10} {:>10} {:>12}",
+            cluster.name,
+            thr(SimOptions::default()),
+            thr(SimOptions { prefetch: false, ..Default::default() }),
+            thr(SimOptions { recv_lookahead: 4, ..Default::default() }),
+        );
+    }
 }

@@ -33,13 +33,22 @@ fn main() {
                 c.result.peak_mem.iter().max().copied().unwrap_or(0) as f64 / 1e9,
             );
         }
-        println!("  ... {} plans rejected for memory\n", tuning.rejected_oom.len());
+        let oom = tuning.rejected.iter().filter(|r| r.is_oom()).count();
+        println!(
+            "  ... {} candidates rejected ({} OOM, {} invalid shape)\n",
+            tuning.rejected.len(),
+            oom,
+            tuning.rejected.len() - oom
+        );
         let best = tuning.best().expect("something fits");
         println!(
             "winner: {} at (P={}, D={}) -> {:.2} seq/s\n",
             best.plan.method, best.plan.pp, best.plan.dp, best.result.throughput
         );
     }
+    println!("(For the full ranked table as JSON — including simulator-option");
+    println!(" ablations per candidate — run the sweep binary:");
+    println!("   cargo run --release -p hanayo-repro --bin sweep -- --cluster tacc)\n");
 
     println!("=== Activation recomputation ablation (Hanayo W=2, P=8, B=16, TACC) ===\n");
     let cfg = PipelineConfig::new(8, 16, Scheme::Hanayo { waves: 2 }).expect("valid");

@@ -1,8 +1,10 @@
 //! Offline stand-in for `rayon` covering the surface this workspace uses:
-//! `par_chunks_mut(..).enumerate().for_each(..)` (genuinely threaded via
-//! `std::thread::scope`) and `par_iter()` on slices (sequential, API
-//! compatible — the only caller is the repro grid, where wall-clock does
-//! not gate the test pyramid).
+//! `par_chunks_mut(..).enumerate().for_each(..)` and
+//! `par_iter().map(..)/.flat_map(..).collect()`, both genuinely threaded
+//! via `std::thread::scope`. `par_iter` combinators are *order-preserving*:
+//! `collect` yields results in input order no matter how the worker
+//! threads interleave — the property the auto-tuner's deterministic
+//! ranking relies on.
 
 pub mod prelude {
     pub use crate::{ParallelSlice, ParallelSliceMut};
@@ -76,23 +78,130 @@ fn run_parallel<I: Send>(items: Vec<I>, f: &(impl Fn(I) + Sync)) {
     });
 }
 
-/// `par_iter` on shared slices. Sequential under the hood: it returns the
-/// std iterator, whose `map`/`flat_map`/`collect` combinators match the
-/// rayon call-sites in this workspace.
-pub trait ParallelSlice<T> {
-    /// Iterate items (sequentially in this shim).
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+/// Parallel map over indices `0..n`, preserving index order in the output.
+/// Work is strided across workers so neighbouring (similar-cost) items
+/// spread out; each worker ships `(index, result)` pairs home and the
+/// caller reassembles them in order.
+fn par_map_indexed<R: Send>(n: usize, f: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut res = Vec::new();
+                    let mut i = w;
+                    while i < n {
+                        res.push((i, f(i)));
+                        i += workers;
+                    }
+                    res
+                })
+            })
+            .collect();
+        for h in handles {
+            // Re-raise worker panics with their original payload so the
+            // diagnostic survives the thread boundary.
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, r) in pairs {
+                        out[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().map(|r| r.expect("every index computed")).collect()
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+/// `par_iter` on shared slices: a genuinely threaded, order-preserving
+/// parallel iterator supporting the `map`/`flat_map`/`collect` call-sites
+/// in this workspace.
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate items in parallel.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
     }
 }
 
-impl<T> ParallelSlice<T> for Vec<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel shared-slice iterator (see [`ParallelSlice`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` across worker threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Map every item to an iterable and flatten, preserving item order.
+    pub fn flat_map<I, F>(self, f: F) -> ParFlatMap<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMap { items: self.items, f }
+    }
+}
+
+/// Mapped form of [`ParIter`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Run the map across worker threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        let items = self.items;
+        par_map_indexed(items.len(), &|i| f(&items[i])).into_iter().collect()
+    }
+}
+
+/// Flat-mapped form of [`ParIter`].
+pub struct ParFlatMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, I, F> ParFlatMap<'a, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'a T) -> I + Sync,
+{
+    /// Run the flat-map across worker threads and collect results in input
+    /// order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        let f = &self.f;
+        let items = self.items;
+        par_map_indexed(items.len(), &|i| f(&items[i]).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
@@ -117,5 +226,29 @@ mod tests {
         let v = vec![1, 2, 3];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_under_contention() {
+        let v: Vec<u64> = (0..500).collect();
+        // Uneven work per item scrambles completion order across threads.
+        let out: Vec<u64> = v
+            .par_iter()
+            .map(|&x| {
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x * x
+            })
+            .collect();
+        let expect: Vec<u64> = (0..500).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_flat_map_preserves_item_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map(|&x| vec![x; x]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
     }
 }
