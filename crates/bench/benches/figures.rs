@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use hanayo_cluster::topology::lonestar6;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_repro as repro;
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
@@ -42,8 +42,14 @@ fn bench_figures(c: &mut Criterion) {
             for method in
                 [Method::GPipe, Method::Dapple, Method::ChimeraWave, Method::Hanayo { waves: 2 }]
             {
-                let plan =
-                    ParallelPlan { method, dp: 4, pp: 8, micro_batches: 8, micro_batch_size: 3 };
+                let plan = ParallelPlan {
+                    method,
+                    dp: 4,
+                    pp: 8,
+                    micro_batches: 8,
+                    micro_batch_size: 3,
+                    recompute: Recompute::None,
+                };
                 out.push(evaluate_plan(&plan, &model, &cluster, SimOptions::default()));
             }
             black_box(out)

@@ -34,21 +34,45 @@ impl UnitMemoryProfile {
     /// Highest per-device total (weights + peak activations) — "the ability
     /// of a scheme to fit within a certain cluster is often determined by
     /// the highest peak memory" (§5.1).
-    pub fn highest_peak(&self) -> f64 {
-        self.mw_units.iter().zip(&self.ma_peak_units).map(|(w, a)| w + a).fold(0.0, f64::max)
+    ///
+    /// Returns `None` for a degenerate profile with no devices: folding an
+    /// empty profile from `0.0` used to silently report a peak of zero,
+    /// which reads as "fits anywhere" — exactly the wrong default for a
+    /// capacity check.
+    pub fn highest_peak(&self) -> Option<f64> {
+        debug_assert_eq!(self.mw_units.len(), self.ma_peak_units.len());
+        self.mw_units.iter().zip(&self.ma_peak_units).map(|(w, a)| w + a).reduce(f64::max)
     }
 }
 
-/// Replay a compute schedule and report per-device peaks in paper units.
+/// Replay a compute schedule and report per-device peaks in paper units,
+/// with every stash weighing one stage-chunk (`P/S` units) — the paper's
+/// no-checkpointing setting.
+pub fn unit_profile(cs: &ComputeSchedule) -> UnitMemoryProfile {
+    let p = cs.stage_map.devices as f64;
+    let s = cs.stage_map.stages as f64;
+    unit_profile_with(cs, p / s)
+}
+
+/// Replay a compute schedule and report per-device peaks in paper units,
+/// with an explicit stash weight per compute op.
+///
+/// `stash_units` is what one stage's forward leaves resident until its
+/// backward, in Fig. 3 activation units. The default ([`unit_profile`]) is
+/// the stage-chunk `P/S`; under full activation recomputation the resident
+/// stash is only the stage-input boundary tensor, so callers pass the
+/// boundary's weight in units instead (boundary bytes over the bytes of
+/// one activation unit for the concrete model).
 ///
 /// Replaying the per-device op *order* is exact for peak accounting: a
 /// stash interval on a device starts at its forward and ends at its
 /// backward, and both endpoints live on the same device in every scheme
 /// (the stash never migrates).
-pub fn unit_profile(cs: &ComputeSchedule) -> UnitMemoryProfile {
+pub fn unit_profile_with(cs: &ComputeSchedule, stash_units: f64) -> UnitMemoryProfile {
     let p = cs.stage_map.devices as f64;
     let s = cs.stage_map.stages as f64;
     let chunk = p / s;
+    assert!(stash_units.is_finite() && stash_units >= 0.0, "bad stash weight {stash_units}");
 
     let mw_units: Vec<f64> =
         cs.stage_map.stages_held().iter().map(|&held| held as f64 * chunk).collect();
@@ -59,13 +83,13 @@ pub fn unit_profile(cs: &ComputeSchedule) -> UnitMemoryProfile {
         let mut peak = 0.0f64;
         for op in ops {
             if op.backward {
-                live -= chunk;
+                live -= stash_units;
             } else {
-                live += chunk;
+                live += stash_units;
                 peak = peak.max(live);
             }
         }
-        debug_assert!(live.abs() < 1e-9, "stash not drained: {live}");
+        debug_assert!(live.abs() < 1e-9 * (1.0 + stash_units), "stash not drained: {live}");
         ma_peak_units.push(peak);
     }
 
@@ -131,7 +155,37 @@ mod tests {
     fn hanayo_activation_peak_at_most_dapple_head() {
         let h = profile(4, 4, Scheme::Hanayo { waves: 2 });
         let d = profile(4, 4, Scheme::Dapple);
-        assert!(h.highest_peak() <= d.highest_peak() + 1e-9, "h={h:?} d={d:?}");
+        let (hp, dp) = (h.highest_peak().unwrap(), d.highest_peak().unwrap());
+        assert!(hp <= dp + 1e-9, "h={h:?} d={d:?}");
+    }
+
+    #[test]
+    fn empty_profile_has_no_highest_peak() {
+        // The old fold-from-zero reported 0.0 here — "fits anywhere".
+        let empty = UnitMemoryProfile {
+            mw_units: vec![],
+            ma_peak_units: vec![],
+            mean_total: 0.0,
+            variance_total: 0.0,
+        };
+        assert_eq!(empty.highest_peak(), None);
+        assert!(profile(4, 4, Scheme::GPipe).highest_peak().is_some());
+    }
+
+    #[test]
+    fn stash_weight_scales_activation_peaks_linearly() {
+        // Checkpointing shrinks every stash by the same factor, so the
+        // replayed activation peak shrinks by exactly that factor too.
+        let cfg = PipelineConfig::new(4, 4, Scheme::Hanayo { waves: 2 }).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let full = unit_profile(&cs);
+        let chunk = 4.0 / cs.stage_map.stages as f64;
+        let ckpt = unit_profile_with(&cs, chunk / 16.0);
+        for (a, b) in full.ma_peak_units.iter().zip(&ckpt.ma_peak_units) {
+            assert!((a / 16.0 - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Weights are untouched by the stash policy.
+        assert_eq!(full.mw_units, ckpt.mw_units);
     }
 
     #[test]

@@ -37,13 +37,39 @@ pub struct CostTable {
 
 /// Activation-recomputation mode (§6's "memory saving techniques ...
 /// can be combined" — checkpointing trades backward compute for stash).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// This is not only an analytical knob: the threaded runtime executes it
+/// (stashing just the stage-input boundary tensor and replaying the stage
+/// forward inside the backward), and the simulator, tuner and unit memory
+/// replay all account the mode-adjusted stash so the three memory models
+/// stay mutually verifiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Recompute {
     /// Stash every internal activation (the paper's benchmarked setting).
     None,
     /// Per-stage checkpointing: stash only the stage's input boundary and
     /// re-run the forward inside the backward (`T_B' = T_B + T_F`).
     Full,
+}
+
+impl Recompute {
+    /// Every mode, in sweep order.
+    pub const ALL: [Recompute; 2] = [Recompute::None, Recompute::Full];
+
+    /// Stable lowercase name (`none` / `full`), used in JSON tables and
+    /// snapshot file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Recompute::None => "none",
+            Recompute::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for Recompute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl CostTable {

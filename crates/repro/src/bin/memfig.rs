@@ -1,0 +1,51 @@
+//! `memfig` — the §5.1 memory statistics as a command-line tool.
+//!
+//! Emits the per-scheme highest-peak / variance table (Fig. 3 units *and*
+//! BERT-64L bytes) for Hanayo w ∈ {1, 2, 4} vs GPipe / DAPPLE / Chimera,
+//! under both activation stash policies, as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p hanayo-repro --bin memfig            # pretty
+//! cargo run --release -p hanayo-repro --bin memfig -- --compact
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+memfig — per-scheme highest-peak / variance memory table as JSON
+
+USAGE: memfig [--compact]
+
+  --compact   single-line JSON (default pretty)
+  --help      this text
+";
+
+fn main() -> ExitCode {
+    let mut compact = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--compact" => compact = true,
+            "--help" | "-h" => {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let table = hanayo_repro::memfig::data();
+    let json =
+        if compact { serde_json::to_string(&table) } else { serde_json::to_string_pretty(&table) };
+    match json {
+        Ok(s) => {
+            println!("{s}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serialising the table failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

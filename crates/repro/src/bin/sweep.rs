@@ -17,7 +17,7 @@
 
 use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink, tencent_v100};
 use hanayo_cluster::ClusterSpec;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::tuner::{tune, tune_serial, Rejection, TuneOptions, Tuning};
 use serde::Serialize;
 use std::process::ExitCode;
@@ -32,6 +32,7 @@ struct Args {
     train_bytes_per_param: u32,
     min_pp: u32,
     waves: Vec<u32>,
+    recompute: Option<Vec<Recompute>>,
     wide: bool,
     serial: bool,
     top: Option<usize>,
@@ -49,6 +50,7 @@ impl Default for Args {
             train_bytes_per_param: 8,
             min_pp: 2,
             waves: vec![1, 2, 4, 8],
+            recompute: None,
             wide: false,
             serial: false,
             top: None,
@@ -71,9 +73,11 @@ FLAGS (all optional):
   --train-bytes-per-param <N>    8 = ZeRO-1, 16 = full Adam     [8]
   --min-pp <P>                   smallest pipeline width        [2]
   --waves <csv>                  Hanayo wave counts             [1,2,4,8]
+  --recompute <csv>              activation-recomputation modes to
+                                 sweep, from {none,full}        [none]
   --wide                         also sweep prefetch on/off, recv
-                                 lookaheads {1,2,4} and micro-batch
-                                 merge factors {1,2}
+                                 lookaheads {1,2,4}, micro-batch merge
+                                 factors {1,2} and both recompute modes
   --serial                       evaluate candidates one at a time
                                  (identical output; for verification)
   --top <N>                      emit only the N best candidates
@@ -111,6 +115,22 @@ fn parse_args() -> Result<Args, String> {
                     .split(',')
                     .map(|w| w.trim().parse().map_err(|e| format!("--waves: {e}")))
                     .collect::<Result<_, _>>()?
+            }
+            "--recompute" => {
+                // Resolve by the modes' own labels so a future variant is
+                // parseable the day it joins `Recompute::ALL`.
+                args.recompute = Some(
+                    value("--recompute")?
+                        .split(',')
+                        .map(|m| {
+                            let m = m.trim();
+                            Recompute::ALL
+                                .into_iter()
+                                .find(|mode| mode.label() == m)
+                                .ok_or_else(|| format!("--recompute: unknown mode {m}"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                )
             }
             "--wide" => args.wide = true,
             "--serial" => args.serial = true,
@@ -153,6 +173,7 @@ struct RankedRow {
     micro_batch_size: u32,
     prefetch: bool,
     recv_lookahead: usize,
+    recompute: String,
     throughput_seq_per_s: f64,
     iteration_time_s: f64,
     pipeline_time_s: f64,
@@ -170,6 +191,7 @@ struct OomRow {
     micro_batches: u32,
     micro_batch_size: u32,
     prefetch: bool,
+    recompute: String,
     peak_gb: f64,
     capacity_gb: f64,
     oom_devices: Vec<usize>,
@@ -181,6 +203,7 @@ struct InvalidRow {
     method: String,
     pp: u32,
     dp: u32,
+    recompute: String,
     reason: String,
 }
 
@@ -193,6 +216,7 @@ struct SweepTable {
     global_micro_batches: u32,
     micro_batch_size: u32,
     wide: bool,
+    recompute_modes: Vec<String>,
     candidates_evaluated: usize,
     ranked: Vec<RankedRow>,
     rejected_oom: Vec<OomRow>,
@@ -204,6 +228,7 @@ fn build_table(
     tuning: &Tuning,
     cluster: &ClusterSpec,
     model: &ModelConfig,
+    modes: &[Recompute],
 ) -> SweepTable {
     let gb = |bytes: u64| bytes as f64 / 1e9;
     let ranked = tuning
@@ -221,6 +246,7 @@ fn build_table(
             micro_batch_size: c.plan.micro_batch_size,
             prefetch: c.sim.prefetch,
             recv_lookahead: c.sim.recv_lookahead,
+            recompute: c.plan.recompute.label().to_string(),
             throughput_seq_per_s: c.result.throughput,
             iteration_time_s: c.result.iteration_time,
             pipeline_time_s: c.result.pipeline_time,
@@ -241,6 +267,7 @@ fn build_table(
                     micro_batches: plan.micro_batches,
                     micro_batch_size: plan.micro_batch_size,
                     prefetch: sim.prefetch,
+                    recompute: plan.recompute.label().to_string(),
                     peak_gb: gb(*peak_bytes),
                     capacity_gb: gb(*capacity_bytes),
                     oom_devices: devices.clone(),
@@ -251,6 +278,7 @@ fn build_table(
                     method: plan.method.to_string(),
                     pp: plan.pp,
                     dp: plan.dp,
+                    recompute: plan.recompute.label().to_string(),
                     reason: reason.clone(),
                 })
             }
@@ -263,6 +291,7 @@ fn build_table(
         global_micro_batches: args.batch,
         micro_batch_size: args.micro_batch_size,
         wide: args.wide,
+        recompute_modes: modes.iter().map(|m| m.label().to_string()).collect(),
         candidates_evaluated: tuning.ranked.len() + tuning.rejected.len(),
         ranked,
         rejected_oom,
@@ -302,10 +331,14 @@ fn main() -> ExitCode {
     if args.wide {
         opts = opts.wide();
     }
+    // An explicit --recompute list overrides --wide's both-modes default.
+    if let Some(modes) = &args.recompute {
+        opts.recompute_modes = modes.clone();
+    }
 
     let run = if args.serial { tune_serial } else { tune };
     let tuning = run(&model, &cluster, args.batch, args.micro_batch_size, &opts);
-    let table = build_table(&args, &tuning, &cluster, &model);
+    let table = build_table(&args, &tuning, &cluster, &model, &opts.recompute_variants());
     let json = if args.compact {
         serde_json::to_string(&table)
     } else {

@@ -10,7 +10,7 @@
 
 use crate::common::{fmt_outcome, render_table, WAVE_SEARCH};
 use hanayo_cluster::topology::lonestar6;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, PlanResult, SimOptions};
 use rayon::prelude::*;
 
@@ -68,6 +68,7 @@ pub fn data() -> Vec<SearchCell> {
                     pp: *pp,
                     micro_batches: b,
                     micro_batch_size: 3,
+                    recompute: Recompute::None,
                 };
                 cells.push(SearchCell {
                     model: model.name.clone(),
@@ -88,6 +89,7 @@ pub fn data() -> Vec<SearchCell> {
                         pp: *pp,
                         micro_batches: b,
                         micro_batch_size: 3,
+                        recompute: Recompute::None,
                     };
                     try_plan(model, plan).map(|r| (w, r.throughput))
                 })

@@ -9,7 +9,7 @@
 
 use crate::common::{eval_methods, fmt_outcome, render_table, WAVE_SEARCH};
 use hanayo_cluster::topology::lonestar6;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
 /// One bar: device count × method.
@@ -24,8 +24,14 @@ pub struct Bar {
 
 fn eval(devices: u32, method: Method) -> Option<f64> {
     let cluster = lonestar6(devices as usize);
-    let plan =
-        ParallelPlan { method, dp: devices / 8, pp: 8, micro_batches: 8, micro_batch_size: 2 };
+    let plan = ParallelPlan {
+        method,
+        dp: devices / 8,
+        pp: 8,
+        micro_batches: 8,
+        micro_batch_size: 2,
+        recompute: Recompute::None,
+    };
     let r = evaluate_plan(&plan, &ModelConfig::bert64(), &cluster, SimOptions::default()).ok()?;
     if r.is_oom() {
         None

@@ -12,7 +12,7 @@
 
 use crate::common::{eval_methods, fmt_outcome, render_table, WAVE_SEARCH};
 use hanayo_cluster::topology::lonestar6;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
 /// Fixed global batch: 16 micro-batches.
@@ -53,6 +53,7 @@ fn eval(devices: u32, method: Method) -> Option<f64> {
                 pp,
                 micro_batches: MICRO_BATCHES / dp,
                 micro_batch_size: MICRO_BATCH_SIZE,
+                recompute: Recompute::None,
             };
             let r = evaluate_plan(&plan, &model, &cluster, SimOptions::default()).ok()?;
             if r.is_oom() {

@@ -9,7 +9,7 @@
 
 use crate::common::{eval_methods, render_table};
 use hanayo_cluster::topology::lonestar6;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
 /// One panel: a model × parallelism setting.
@@ -54,6 +54,7 @@ pub fn data() -> Vec<Panel> {
                         pp: p,
                         micro_batches: b,
                         micro_batch_size: 2,
+                        recompute: Recompute::None,
                     };
                     let r = evaluate_plan(&plan, &model, &cluster, SimOptions::default())
                         .expect("plan fits the cluster");

@@ -13,7 +13,7 @@
 use crate::common::{fig9_methods, fmt_outcome, render_table};
 use hanayo_cluster::topology::paper_clusters;
 use hanayo_cluster::ClusterSpec;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use hanayo_sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
 /// One cell: cluster × (D,P) × method → throughput (None = OOM).
@@ -31,7 +31,14 @@ pub struct Cell {
 }
 
 fn eval(cluster: &ClusterSpec, dp: u32, pp: u32, method: Method) -> Option<f64> {
-    let plan = ParallelPlan { method, dp, pp, micro_batches: pp, micro_batch_size: 1 };
+    let plan = ParallelPlan {
+        method,
+        dp,
+        pp,
+        micro_batches: pp,
+        micro_batch_size: 1,
+        recompute: Recompute::None,
+    };
     let model = ModelConfig::bert64().with_train_bytes_per_param(8);
     let r = evaluate_plan(&plan, &model, cluster, SimOptions::default()).ok()?;
     if r.is_oom() {

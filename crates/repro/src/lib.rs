@@ -24,6 +24,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod memfig;
 
 /// A figure's id plus the function that renders its table.
 pub type FigureRunner = (&'static str, fn() -> String);
@@ -43,5 +44,8 @@ pub fn all_figures() -> Vec<FigureRunner> {
         ("fig10", fig10::run),
         ("fig11", fig11::run),
         ("fig12", fig12::run),
+        // Not a numbered paper figure: the §5.1 memory statistics table
+        // (also its own binary, `--bin memfig`).
+        ("memfig", memfig::run),
     ]
 }

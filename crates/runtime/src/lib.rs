@@ -18,7 +18,12 @@
 //! * [`mailbox`] — tag-matching P2P fabric over crossbeam channels
 //!   (asynchronous sends, blocking receives: NCCL's semantics).
 //! * [`worker`] — the action-list interpreter (§4.1) with per-micro-batch
-//!   gradient slots and activation-stash accounting.
+//!   gradient slots and an instrumented activation-stash live-bytes
+//!   counter. The stash policy is the executable
+//!   [`hanayo_model::Recompute`] mode: under `Full` each stage keeps only
+//!   its input boundary tensor and replays the forward inside the
+//!   backward — gradients stay bit-identical while the measured peak
+//!   drops to the 1F1B boundary budget.
 //! * [`trainer`] — spawns one thread per device, feeds micro-batches,
 //!   runs iterations, collects losses and peak-stash statistics.
 //! * [`collective`] — the data-parallel gradient exchange used when a plan
@@ -29,6 +34,7 @@ pub mod mailbox;
 pub mod trainer;
 pub mod worker;
 
+pub use hanayo_model::Recompute;
 pub use trainer::{
     train, train_data_parallel, try_train, try_train_data_parallel, LossKind, TrainError,
     TrainOutput, TrainerConfig,

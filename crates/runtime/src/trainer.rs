@@ -7,6 +7,7 @@ pub use crate::worker::LossKind;
 use crate::worker::{run_worker, IterationData, WorkerConfig, WorkerError, WorkerReport};
 use hanayo_core::action::Schedule;
 use hanayo_core::ids::{DeviceId, MicroBatch};
+use hanayo_model::Recompute;
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::Stage;
 use std::collections::HashMap;
@@ -24,6 +25,11 @@ pub struct TrainerConfig {
     pub lr: f32,
     /// Loss at the last stage.
     pub loss: LossKind,
+    /// Activation stash policy. [`Recompute::Full`] stashes only each
+    /// stage's input boundary tensor and replays the stage forward inside
+    /// the backward — bit-identical gradients, strictly smaller resident
+    /// stash (see [`TrainOutput::peak_stash_bytes`]).
+    pub recompute: Recompute,
 }
 
 /// Results of a training run.
@@ -33,8 +39,11 @@ pub struct TrainOutput {
     pub losses: Vec<f32>,
     /// Updated stage modules.
     pub stages: Vec<Stage>,
-    /// Peak activation-stash bytes per device (empty for the sequential
-    /// reference, which stashes one micro-batch at a time).
+    /// Measured peak of each device's live activation-stash bytes (empty
+    /// for the sequential reference, which stashes one micro-batch at a
+    /// time). Per-device order is the action-list order, so this is
+    /// deterministic and — given a cost table probed from the same stages —
+    /// exactly equal to the simulator's `peak_mem − weight_mem`.
     pub peak_stash_bytes: Vec<usize>,
 }
 
@@ -205,6 +214,7 @@ fn try_train_with_dp(
                     loss: cfg.loss.clone(),
                     lr: cfg.lr,
                     dp: dp.clone(),
+                    recompute: cfg.recompute,
                     abort: Arc::clone(abort),
                 };
                 let fab = fab.clone();
@@ -321,7 +331,14 @@ mod tests {
             MicroModel { width: 8, total_blocks: schedule.stage_map.stages as usize, seed: 7 };
         let stages = model.build_stages(schedule.stage_map.stages);
         let data = synthetic_data(3, 2, b as usize, 2, 8);
-        (TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse }, data)
+        let trainer = TrainerConfig {
+            schedule,
+            stages,
+            lr: 0.05,
+            loss: LossKind::Mse,
+            recompute: Recompute::None,
+        };
+        (trainer, data)
     }
 
     #[test]
@@ -351,8 +368,27 @@ mod tests {
         // Same data every iteration → loss must fall.
         let one = synthetic_data(9, 1, 2, 4, 8).remove(0);
         let data = vec![one.clone(); 8];
-        let out = train(&TrainerConfig { schedule, stages, lr: 0.05, loss: LossKind::Mse }, &data);
+        let cfg = TrainerConfig {
+            schedule,
+            stages,
+            lr: 0.05,
+            loss: LossKind::Mse,
+            recompute: Recompute::None,
+        };
+        let out = train(&cfg, &data);
         assert!(out.losses.last().unwrap() < out.losses.first().unwrap(), "{:?}", out.losses);
+    }
+
+    #[test]
+    fn full_recompute_is_bit_identical_and_stashes_less() {
+        let (cfg, data) = job(2, 4, Scheme::Hanayo { waves: 2 });
+        let plain = train(&cfg, &data);
+        let ckpt = train(&TrainerConfig { recompute: Recompute::Full, ..cfg.clone() }, &data);
+        assert_eq!(plain.stages, ckpt.stages, "checkpointed weights diverged");
+        assert_eq!(plain.losses, ckpt.losses, "checkpointed losses diverged");
+        for (d, (c, p)) in ckpt.peak_stash_bytes.iter().zip(&plain.peak_stash_bytes).enumerate() {
+            assert!(c < p, "device {d}: checkpointed peak {c} !< plain peak {p}");
+        }
     }
 
     #[test]
@@ -425,9 +461,14 @@ mod tests {
         let model = MicroModel { width: 8, total_blocks: 2, seed: 1 };
         let stages = model.build_stages(2);
         let data = synthetic_data(1, 1, 2, 2, 8);
-        let result = std::panic::catch_unwind(|| {
-            train(&TrainerConfig { schedule, stages, lr: 0.1, loss: LossKind::Mse }, &data)
-        });
+        let cfg = TrainerConfig {
+            schedule,
+            stages,
+            lr: 0.1,
+            loss: LossKind::Mse,
+            recompute: Recompute::None,
+        };
+        let result = std::panic::catch_unwind(|| train(&cfg, &data));
         assert!(result.is_err(), "chimera-native must be rejected");
     }
 

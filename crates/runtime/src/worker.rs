@@ -17,6 +17,7 @@ use crate::collective::AllreduceHub;
 use crate::mailbox::{AbortFlag, Envelope, Fabric, Mailbox};
 use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
 use hanayo_core::ids::{DeviceId, MicroBatch, StageId};
+use hanayo_model::Recompute;
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::{Stage, StageGrads, StageStash, Tensor};
 use std::collections::HashMap;
@@ -33,6 +34,43 @@ pub enum LossKind {
         /// `labels[mb][row]` is the class of that row.
         labels: Vec<Vec<usize>>,
     },
+}
+
+/// What a worker keeps resident between a stage's forward and its
+/// backward, per `(micro-batch, stage)` — the executable form of the
+/// [`Recompute`] policy.
+#[derive(Debug, Clone)]
+enum Stashed {
+    /// Every internal activation ([`Recompute::None`]): backward consumes
+    /// the stash directly.
+    Activations(StageStash),
+    /// Only the stage-input boundary tensor ([`Recompute::Full`]): the
+    /// backward replays the stage forward to regenerate the stash. The
+    /// replay is deterministic — stage forwards are pure functions of the
+    /// input and the (frozen-until-flush) weights, and all randomness in a
+    /// run lives in the pinned `hanayo_tensor::rng::seeded` init/data
+    /// streams — so gradients stay bit-identical to [`Recompute::None`].
+    Boundary(Tensor),
+}
+
+impl Stashed {
+    /// Resident bytes of this stash entry, the quantity the per-device
+    /// live-bytes counter tracks.
+    ///
+    /// Scope: the counter accounts what stays resident *across* actions.
+    /// The full stage stash the backward-time replay regenerates under
+    /// `Full` is transient workspace inside one backward — symmetric with
+    /// the forward's own input-plus-stash workspace, which is equally
+    /// uncounted under `None` — bounded by a single micro-batch's stash on
+    /// one stage. The simulator and unit replay account the same resident
+    /// quantity, which is what keeps the three memory models exactly
+    /// comparable.
+    fn bytes(&self) -> usize {
+        match self {
+            Stashed::Activations(st) => st.bytes(),
+            Stashed::Boundary(x) => 4 * x.len(),
+        }
+    }
 }
 
 /// One iteration's worth of pipeline input.
@@ -189,6 +227,9 @@ pub struct WorkerConfig {
     pub lr: f32,
     /// Data-parallel exchange (rank, hub) when training replicated.
     pub dp: Option<(usize, Arc<AllreduceHub>)>,
+    /// Activation stash policy: keep everything, or keep only the stage
+    /// input and replay the forward inside the backward.
+    pub recompute: Recompute,
     /// Run-wide cancellation latch (shared with every peer worker).
     pub abort: Arc<AbortFlag>,
 }
@@ -201,7 +242,12 @@ pub struct WorkerReport {
     pub modules: HashMap<u32, Stage>,
     /// Mean loss per iteration (non-empty only on the last-stage holder).
     pub losses: Vec<f32>,
-    /// High-water mark of resident activation-stash bytes.
+    /// High-water mark of the instrumented live-bytes counter: every stash
+    /// insert adds its resident bytes, every backward's consume subtracts
+    /// them, and the peak is recorded at each growth. Under
+    /// [`Recompute::Full`] only boundary tensors are ever resident, so this
+    /// is where checkpointing's memory win becomes *measured* rather than
+    /// modelled (the memory-truth suite pins it against the simulator).
     pub peak_stash_bytes: usize,
     /// The invariant violation that stopped this worker, if any.
     pub error: Option<WorkerError>,
@@ -254,7 +300,7 @@ fn run_action_lists(
         // In-flight state for this iteration.
         let mut local: HashMap<MsgTag, Tensor> = HashMap::new();
         let mut outbound: HashMap<MsgTag, Tensor> = HashMap::new();
-        let mut stash: HashMap<(u32, u32), StageStash> = HashMap::new();
+        let mut stash: HashMap<(u32, u32), Stashed> = HashMap::new();
         let mut slots: HashMap<u32, Vec<Option<StageGrads>>> =
             cfg.modules.keys().map(|&s| (s, vec![None; micro_batches as usize])).collect();
         let mut iter_loss = 0.0f32;
@@ -273,9 +319,15 @@ fn run_action_lists(
                         .get(&stage.0)
                         .ok_or(WorkerError::MissingModule { device, stage: *stage })?;
                     let (y, st) = module.forward(&x);
-                    cur_stash += st.bytes();
+                    let entry = match cfg.recompute {
+                        Recompute::None => Stashed::Activations(st),
+                        // Keep only the boundary; the full stash drops
+                        // here and is regenerated at backward time.
+                        Recompute::Full => Stashed::Boundary(x),
+                    };
+                    cur_stash += entry.bytes();
                     *peak_stash = (*peak_stash).max(cur_stash);
-                    stash.insert((mb.0, stage.0), st);
+                    stash.insert((mb.0, stage.0), entry);
                     if stage.0 + 1 == stages {
                         // Turnaround: loss + gradient, consumed by this
                         // stage's backward under its gradient tag.
@@ -296,16 +348,23 @@ fn run_action_lists(
                     let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
                     let dy =
                         local.remove(&tag).ok_or(WorkerError::MissingGradient { device, tag })?;
-                    let st = stash.remove(&(mb.0, stage.0)).ok_or(WorkerError::MissingStash {
-                        device,
-                        mb: *mb,
-                        stage: *stage,
-                    })?;
-                    cur_stash -= st.bytes();
+                    let entry = stash
+                        .remove(&(mb.0, stage.0))
+                        .ok_or(WorkerError::MissingStash { device, mb: *mb, stage: *stage })?;
+                    cur_stash -= entry.bytes();
                     let module = cfg
                         .modules
                         .get(&stage.0)
                         .ok_or(WorkerError::MissingModule { device, stage: *stage })?;
+                    let st = match entry {
+                        Stashed::Activations(st) => st,
+                        // Checkpointed: replay the stage forward from the
+                        // boundary tensor. Weights have not changed since
+                        // the original forward (updates happen only at the
+                        // flush), so the regenerated stash — and therefore
+                        // every gradient — is bit-identical.
+                        Stashed::Boundary(x) => module.forward(&x).1,
+                    };
                     let (dx, grads) = module.backward(&st, &dy);
                     slots
                         .get_mut(&stage.0)

@@ -832,6 +832,28 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_bitwise_on_checkpointed_cost_tables() {
+        // The stash policy flows in through the cost table; both engines
+        // must account the mode-adjusted stash identically.
+        use hanayo_model::Recompute;
+        for cluster in paper_clusters(8) {
+            for scheme in [Scheme::GPipe, Scheme::Dapple, Scheme::Hanayo { waves: 2 }] {
+                let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+                let schedule = build_schedule(&cfg).unwrap();
+                let cost =
+                    CostTable::build_with(&ModelConfig::bert64(), cfg.stages(), 1, Recompute::Full);
+                let fast = simulate(&schedule, &cost, &cluster, SimOptions::default());
+                let slow = simulate_reference(&schedule, &cost, &cluster, SimOptions::default());
+                assert_eq!(fast, slow, "{}/{scheme}: engines diverged under Full", cluster.name);
+                // Peak is weights + at most a handful of boundary tensors.
+                for (peak, w) in fast.peak_mem.iter().zip(&fast.weight_mem) {
+                    assert!(peak - w <= cost.msg_bytes * cfg.stages() as u64 * 8);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn numerics_validation_rejects_nan_costs() {
         let cluster = fc_full_nvlink(4);
         let mut cost = CostTable::build(&ModelConfig::bert64(), 4, 1);

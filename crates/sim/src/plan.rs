@@ -12,7 +12,7 @@ use hanayo_cluster::collective::ring_allreduce_time;
 use hanayo_cluster::ClusterSpec;
 use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::{build_schedule, ScheduleError};
-use hanayo_model::{CostTable, ModelConfig};
+use hanayo_model::{CostTable, ModelConfig, Recompute};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -73,6 +73,10 @@ pub struct ParallelPlan {
     pub micro_batches: u32,
     /// Sequences per micro-batch.
     pub micro_batch_size: u32,
+    /// Activation-recomputation mode: the cost table is built with it, so
+    /// both the stash accounting (boundary-only under `Full`) and the
+    /// backward time (`T_B' = T_B + T_F`) flow into the simulation.
+    pub recompute: Recompute,
 }
 
 /// Plan evaluation errors.
@@ -186,7 +190,7 @@ pub fn evaluate_plan(
 
     let cfg = PipelineConfig::new(pp_eff, b_eff, scheme)?;
     let schedule = build_schedule(&cfg)?;
-    let cost = CostTable::build(model, cfg.stages(), plan.micro_batch_size);
+    let cost = CostTable::build_with(model, cfg.stages(), plan.micro_batch_size, plan.recompute);
     // Vet numerics before anything reaches the event heap: a NaN cost or
     // bandwidth would otherwise silently corrupt every simulated time.
     validate_numerics(&cost, cluster, &opts).map_err(PlanError::Numerics)?;
@@ -249,7 +253,14 @@ mod tests {
     use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink};
 
     fn plan(method: Method, dp: u32, pp: u32, b: u32) -> ParallelPlan {
-        ParallelPlan { method, dp, pp, micro_batches: b, micro_batch_size: 1 }
+        ParallelPlan {
+            method,
+            dp,
+            pp,
+            micro_batches: b,
+            micro_batch_size: 1,
+            recompute: Recompute::None,
+        }
     }
 
     fn eval(p: &ParallelPlan, cluster: &ClusterSpec) -> PlanResult {
@@ -325,28 +336,41 @@ mod tests {
         // stashes all 16 micro-batches and dies; Hanayo stays within its
         // 1F1B-style budget.
         let cluster = lonestar6(8);
-        let g = eval(
-            &ParallelPlan {
-                method: Method::GPipe,
-                dp: 1,
-                pp: 8,
-                micro_batches: 16,
-                micro_batch_size: 2,
-            },
-            &cluster,
-        );
-        let h = eval(
-            &ParallelPlan {
-                method: Method::Hanayo { waves: 2 },
-                dp: 1,
-                pp: 8,
-                micro_batches: 16,
-                micro_batch_size: 2,
-            },
-            &cluster,
-        );
+        let big = |method| ParallelPlan {
+            method,
+            dp: 1,
+            pp: 8,
+            micro_batches: 16,
+            micro_batch_size: 2,
+            recompute: Recompute::None,
+        };
+        let g = eval(&big(Method::GPipe), &cluster);
+        let h = eval(&big(Method::Hanayo { waves: 2 }), &cluster);
         assert!(g.is_oom(), "GPipe peak {:?}", g.peak_mem.iter().max());
         assert!(!h.is_oom(), "Hanayo peak {:?}", h.peak_mem.iter().max());
+    }
+
+    #[test]
+    fn full_recompute_rescues_an_oom_plan() {
+        // The GPipe configuration that dies above fits once the plan
+        // carries Recompute::Full — the §6 "combine with checkpointing"
+        // claim, now a first-class plan axis.
+        let cluster = lonestar6(8);
+        let mut plan = ParallelPlan {
+            method: Method::GPipe,
+            dp: 1,
+            pp: 8,
+            micro_batches: 16,
+            micro_batch_size: 2,
+            recompute: Recompute::None,
+        };
+        let none = eval(&plan, &cluster);
+        plan.recompute = Recompute::Full;
+        let full = eval(&plan, &cluster);
+        assert!(none.is_oom() && !full.is_oom());
+        // Memory falls, but the replayed forward slows the iteration.
+        assert!(full.peak_mem.iter().max() < none.peak_mem.iter().max());
+        assert!(full.iteration_time > none.iteration_time);
     }
 
     #[test]

@@ -4,11 +4,15 @@
 //! strategies to attain optimal performance" (§1, §6).
 //!
 //! Given a model, a cluster and a global batch, [`tune`] sweeps the whole
-//! strategy space — method × wave count × (P, D) factorisations, optionally
-//! widened with simulator ablations (prefetch on/off, `recv_lookahead`) and
-//! micro-batch granularities — through the discrete-event simulator,
-//! records every rejection, and ranks the rest by throughput.
-//! [`Tuning::best`] is the plan a user should run.
+//! strategy space — method × wave count × (P, D) factorisations ×
+//! activation-recomputation modes, optionally widened with simulator
+//! ablations (prefetch on/off, `recv_lookahead`) and micro-batch
+//! granularities — through the discrete-event simulator, records every
+//! rejection, and ranks the rest by throughput. [`Tuning::best`] is the
+//! plan a user should run. The recompute axis is what lets a
+//! memory-constrained cluster escape an all-OOM verdict: checkpointed
+//! variants of the same plans pay one extra forward per backward but stash
+//! only boundary tensors.
 //!
 //! ## Parallel evaluation and determinism
 //!
@@ -31,7 +35,7 @@
 use crate::engine::SimOptions;
 use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 use hanayo_cluster::ClusterSpec;
-use hanayo_model::ModelConfig;
+use hanayo_model::{ModelConfig, Recompute};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +144,12 @@ pub struct TuneOptions {
     /// different pipeline granularity). Factors that do not divide a
     /// candidate's micro-batch count are recorded as shape rejections.
     pub micro_batch_merges: Vec<u32>,
+    /// Activation-recomputation modes to sweep. Checkpointing trades one
+    /// extra forward per backward for a boundary-only stash, so on
+    /// memory-constrained clusters plans that are `Rejection::Oom` under
+    /// [`Recompute::None`] can come back ranked under [`Recompute::Full`].
+    /// Duplicates are skipped; an empty list falls back to `None` only.
+    pub recompute_modes: Vec<Recompute>,
 }
 
 impl Default for TuneOptions {
@@ -152,20 +162,39 @@ impl Default for TuneOptions {
             sweep_prefetch: false,
             recv_lookaheads: Vec::new(),
             micro_batch_merges: vec![1],
+            recompute_modes: vec![Recompute::None],
         }
     }
 }
 
 impl TuneOptions {
     /// The widest built-in space: prefetch ablation, lookaheads {1, 2, 4},
-    /// micro-batch merge factors {1, 2}.
+    /// micro-batch merge factors {1, 2}, both recomputation modes.
     pub fn wide(self) -> TuneOptions {
         TuneOptions {
             sweep_prefetch: true,
             recv_lookaheads: vec![1, 2, 4],
             micro_batch_merges: vec![1, 2],
+            recompute_modes: Recompute::ALL.to_vec(),
             ..self
         }
+    }
+
+    /// The recompute modes this search actually sweeps: deduplicated in
+    /// first-seen order, with an empty configuration degrading to `None`
+    /// only. Public so reporting layers (e.g. the `sweep` binary) can
+    /// echo the real axis rather than the raw configured list.
+    pub fn recompute_variants(&self) -> Vec<Recompute> {
+        let mut modes = Vec::new();
+        for &m in &self.recompute_modes {
+            if !modes.contains(&m) {
+                modes.push(m);
+            }
+        }
+        if modes.is_empty() {
+            modes.push(Recompute::None);
+        }
+        modes
     }
 
     /// The simulator-option variants this search sweeps, deduplicated, in
@@ -211,13 +240,15 @@ fn plan_key(plan: &ParallelPlan, sim: &SimOptions) -> impl Ord {
         method,
         plan.micro_batches,
         plan.micro_batch_size,
+        matches!(plan.recompute, Recompute::Full),
         !sim.prefetch,
         sim.recv_lookahead,
     )
 }
 
 /// Enumerate the candidate space in deterministic order: `(P, D)`
-/// factorisations × micro-batch merges × methods × simulator variants.
+/// factorisations × micro-batch merges × methods × recompute modes ×
+/// simulator variants.
 fn candidate_space(
     cluster_devices: u32,
     global_micro_batches: u32,
@@ -227,6 +258,7 @@ fn candidate_space(
     let mut methods = opts.methods.clone();
     methods.extend(opts.waves.iter().map(|&w| Method::Hanayo { waves: w }));
     let variants = opts.sim_variants();
+    let modes = opts.recompute_variants();
 
     let mut out = Vec::new();
     for pp in (opts.min_pp..=cluster_devices).filter(|pp| cluster_devices.is_multiple_of(*pp)) {
@@ -237,18 +269,21 @@ fn candidate_space(
             // sweep output explains the whole space.
             let reason = format!("global batch {global_micro_batches} not divisible by D={dp}");
             for &method in &methods {
-                for &sim in &variants {
-                    out.push((
-                        ParallelPlan {
-                            method,
-                            dp,
-                            pp,
-                            micro_batches: global_micro_batches,
-                            micro_batch_size,
-                        },
-                        sim,
-                        Some(reason.clone()),
-                    ));
+                for &recompute in &modes {
+                    for &sim in &variants {
+                        out.push((
+                            ParallelPlan {
+                                method,
+                                dp,
+                                pp,
+                                micro_batches: global_micro_batches,
+                                micro_batch_size,
+                                recompute,
+                            },
+                            sim,
+                            Some(reason.clone()),
+                        ));
+                    }
                 }
             }
             continue;
@@ -265,18 +300,21 @@ fn candidate_space(
             }
             seen.push(merge);
             for &method in &methods {
-                for &sim in &variants {
-                    out.push((
-                        ParallelPlan {
-                            method,
-                            dp,
-                            pp,
-                            micro_batches: per_group / merge,
-                            micro_batch_size: micro_batch_size * merge,
-                        },
-                        sim,
-                        None,
-                    ));
+                for &recompute in &modes {
+                    for &sim in &variants {
+                        out.push((
+                            ParallelPlan {
+                                method,
+                                dp,
+                                pp,
+                                micro_batches: per_group / merge,
+                                micro_batch_size: micro_batch_size * merge,
+                                recompute,
+                            },
+                            sim,
+                            None,
+                        ));
+                    }
                 }
             }
         }
@@ -464,10 +502,28 @@ mod tests {
         assert!(t.ranked.iter().any(|c| !c.sim.prefetch), "prefetch ablation missing");
         assert!(t.ranked.iter().any(|c| c.sim.recv_lookahead == 4), "lookahead sweep missing");
         assert!(t.ranked.iter().any(|c| c.plan.micro_batch_size == 2), "micro-batch merge missing");
+        assert!(
+            t.ranked.iter().any(|c| c.plan.recompute == Recompute::Full),
+            "recompute axis missing"
+        );
         // Merged candidates process the same sequences per iteration.
         for c in &t.ranked {
             assert_eq!(c.plan.dp * c.plan.micro_batches * c.plan.micro_batch_size, 16);
         }
+    }
+
+    #[test]
+    fn recompute_variants_dedupe_and_never_go_empty() {
+        // The capacity-rescue scenario itself lives in
+        // tests/tuner_props.rs (capacity_constrained_cluster_is_rescued_
+        // by_the_recompute_axis); here we pin the axis normalisation.
+        let opts = TuneOptions {
+            recompute_modes: vec![Recompute::Full, Recompute::Full, Recompute::None],
+            ..Default::default()
+        };
+        assert_eq!(opts.recompute_variants(), vec![Recompute::Full, Recompute::None]);
+        let empty = TuneOptions { recompute_modes: Vec::new(), ..Default::default() };
+        assert_eq!(empty.recompute_variants(), vec![Recompute::None]);
     }
 
     #[test]

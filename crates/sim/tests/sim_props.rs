@@ -120,6 +120,7 @@ proptest! {
                 pp: 8,
                 micro_batches: 8,
                 micro_batch_size: size,
+                recompute: Recompute::None,
             };
             evaluate_plan(&plan, &model, &cluster, SimOptions::default())
                 .unwrap()

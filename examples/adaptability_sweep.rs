@@ -7,7 +7,7 @@
 //! ```
 
 use hanayo::cluster::topology::paper_clusters;
-use hanayo::model::ModelConfig;
+use hanayo::model::{ModelConfig, Recompute};
 use hanayo::sim::{evaluate_plan, Method, ParallelPlan, SimOptions};
 
 fn main() {
@@ -26,7 +26,14 @@ fn main() {
     for cluster in paper_clusters(8) {
         print!("{:<6}", cluster.name);
         for method in methods {
-            let plan = ParallelPlan { method, dp: 1, pp: 8, micro_batches: 8, micro_batch_size: 1 };
+            let plan = ParallelPlan {
+                method,
+                dp: 1,
+                pp: 8,
+                micro_batches: 8,
+                micro_batch_size: 1,
+                recompute: Recompute::None,
+            };
             match evaluate_plan(&plan, &model, &cluster, SimOptions::default()) {
                 Ok(r) if !r.is_oom() => print!(" {:>8.2}", r.throughput),
                 Ok(_) => print!(" {:>8}", "OOM"),
@@ -48,6 +55,7 @@ fn main() {
                     pp: 8,
                     micro_batches: 8,
                     micro_batch_size: 1,
+                    recompute: Recompute::None,
                 };
                 evaluate_plan(&plan, &model, &cluster, SimOptions::default())
                     .ok()
@@ -71,6 +79,7 @@ fn main() {
         pp: 8,
         micro_batches: 8,
         micro_batch_size: 1,
+        recompute: Recompute::None,
     };
     for cluster in paper_clusters(8) {
         let thr = |opts: SimOptions| {

@@ -11,7 +11,7 @@ use hanayo::core::validate::validate;
 use hanayo::model::builders::MicroModel;
 use hanayo::model::{CostTable, ModelConfig};
 use hanayo::runtime::trainer::{sequential_reference, synthetic_data, train, TrainerConfig};
-use hanayo::runtime::LossKind;
+use hanayo::runtime::{LossKind, Recompute};
 use hanayo::sim::{simulate, SimOptions};
 use proptest::prelude::*;
 
@@ -110,6 +110,7 @@ proptest! {
             stages: model.build_stages(s),
             lr: 0.05,
             loss: LossKind::Mse,
+            recompute: Recompute::None,
         };
         let data = synthetic_data(seed.wrapping_add(1), 1, b as usize, 2, 6);
         let out = train(&trainer, &data);

@@ -8,7 +8,7 @@ use hanayo::model::builders::MicroModel;
 use hanayo::runtime::trainer::{
     sequential_reference, synthetic_data, train, train_data_parallel, TrainerConfig,
 };
-use hanayo::runtime::LossKind;
+use hanayo::runtime::{LossKind, Recompute};
 use hanayo::tensor::Tensor;
 
 fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
@@ -16,13 +16,22 @@ fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 10, total_blocks: s as usize, seed: 99 };
-    let trainer =
-        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.03, loss: LossKind::Mse };
     let data = synthetic_data(5, iterations, b as usize, 3, 10);
-    let out = train(&trainer, &data);
-    let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
-    assert_eq!(out.stages, seq.stages, "{scheme} P={p} B={b}: weights diverged");
-    assert_eq!(out.losses, seq.losses, "{scheme} P={p} B={b}: losses diverged");
+    // Both stash policies must reproduce the same sequential bits: full
+    // recomputation replays each stage forward inside the backward.
+    for recompute in Recompute::ALL {
+        let trainer = TrainerConfig {
+            schedule: schedule.clone(),
+            stages: model.build_stages(s),
+            lr: 0.03,
+            loss: LossKind::Mse,
+            recompute,
+        };
+        let out = train(&trainer, &data);
+        let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
+        assert_eq!(out.stages, seq.stages, "{scheme} P={p} B={b} {recompute}: weights diverged");
+        assert_eq!(out.losses, seq.losses, "{scheme} P={p} B={b} {recompute}: losses diverged");
+    }
 }
 
 #[test]
@@ -67,6 +76,7 @@ fn cross_entropy_loss_matches_sequential() {
         stages: model.build_stages(s),
         lr: 0.05,
         loss: LossKind::CrossEntropy { labels },
+        recompute: Recompute::Full,
     };
     let mut data = synthetic_data(8, 1, 3, 3, 6);
     // Targets are unused by cross-entropy but must exist shape-wise.
@@ -97,6 +107,7 @@ fn all_schemes_agree_with_each_other_on_one_model() {
             stages: model.build_stages(s),
             lr: 0.02,
             loss: LossKind::Mse,
+            recompute: Recompute::None,
         };
         let out = train(&trainer, &data);
         let params: Vec<f32> = out.stages.iter().flat_map(|st| st.flat_params()).collect();
@@ -113,8 +124,13 @@ fn data_parallel_hanayo_trains_and_replicates() {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 21 };
-    let trainer =
-        TrainerConfig { schedule, stages: model.build_stages(s), lr: 0.05, loss: LossKind::Mse };
+    let trainer = TrainerConfig {
+        schedule,
+        stages: model.build_stages(s),
+        lr: 0.05,
+        loss: LossKind::Mse,
+        recompute: Recompute::None,
+    };
     let shards = vec![synthetic_data(31, 2, 2, 2, 8), synthetic_data(32, 2, 2, 2, 8)];
     let a = train_data_parallel(&trainer, &shards);
     let b2 = train_data_parallel(&trainer, &shards);
@@ -125,7 +141,7 @@ fn data_parallel_hanayo_trains_and_replicates() {
 fn pipeline_stash_respects_schedule_shape() {
     // GPipe stashes more than DAPPLE on the head device for B > P.
     let b = 6;
-    let make = |scheme| {
+    let make = |scheme, recompute| {
         let cfg = PipelineConfig::new(2, b, scheme).unwrap();
         let schedule = build_schedule(&cfg).unwrap();
         let s = schedule.stage_map.stages;
@@ -135,16 +151,26 @@ fn pipeline_stash_respects_schedule_shape() {
             stages: model.build_stages(s),
             lr: 0.05,
             loss: LossKind::Mse,
+            recompute,
         };
         let data = synthetic_data(4, 1, b as usize, 2, 8);
         train(&trainer, &data)
     };
-    let g = make(Scheme::GPipe);
-    let d = make(Scheme::Dapple);
+    let g = make(Scheme::GPipe, Recompute::None);
+    let d = make(Scheme::Dapple, Recompute::None);
     assert!(
         g.peak_stash_bytes[0] > d.peak_stash_bytes[0],
         "GPipe head stash {} vs DAPPLE {}",
         g.peak_stash_bytes[0],
+        d.peak_stash_bytes[0]
+    );
+    // Checkpointing shrinks even GPipe's stash-everything peak below the
+    // plain DAPPLE budget: only boundary tensors stay resident.
+    let g_ckpt = make(Scheme::GPipe, Recompute::Full);
+    assert!(
+        g_ckpt.peak_stash_bytes[0] < d.peak_stash_bytes[0],
+        "checkpointed GPipe head stash {} vs plain DAPPLE {}",
+        g_ckpt.peak_stash_bytes[0],
         d.peak_stash_bytes[0]
     );
 }
