@@ -109,6 +109,21 @@ fn bench_engine_fastpath(c: &mut Criterion) {
             }
         })
     });
+    // The same sweep with trace lowering on: quantifies what opting into
+    // `SimOptions::trace` costs. The untraced numbers above are the guard
+    // that tracing stays opt-in-only on the hot path.
+    g.bench_function("indexed_sweep_p8_m8_traced", |b| {
+        b.iter(|| {
+            for (schedule, cost) in &jobs {
+                black_box(hanayo_sim::simulate_traced(
+                    schedule,
+                    cost,
+                    &cluster,
+                    SimOptions { trace: true, ..Default::default() },
+                ));
+            }
+        })
+    });
     g.finish();
 }
 
@@ -180,6 +195,7 @@ fn bench_runtime(c: &mut Criterion) {
         lr: 0.05,
         loss: LossKind::Mse,
         recompute: Recompute::None,
+        trace: false,
     };
     let data = synthetic_data(6, 1, 4, 2, 8);
     g.bench_function("threaded_iteration_p2_b4", |b| b.iter(|| black_box(train(&trainer, &data))));

@@ -26,4 +26,4 @@ pub mod topology;
 
 pub use gpu::GpuModel;
 pub use link::{Link, LinkClass};
-pub use topology::ClusterSpec;
+pub use topology::{ClusterSpec, SelectError};

@@ -3,6 +3,24 @@
 use crate::gpu::GpuModel;
 use crate::link::{Link, LinkClass};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A device-subset selection named an index outside the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectError {
+    /// The out-of-range device index.
+    pub index: usize,
+    /// How many devices the cluster actually has.
+    pub devices: usize,
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device index {} out of range for a {}-device cluster", self.index, self.devices)
+    }
+}
+
+impl std::error::Error for SelectError {}
 
 /// A complete cluster description: devices plus the link matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,13 +71,25 @@ impl ClusterSpec {
 
     /// Restrict the cluster to a subset of devices (for a pipeline group in
     /// a `D×P` plan). Ranks are remapped to `0..subset.len()` in the given
-    /// order.
-    pub fn select(&self, subset: &[usize]) -> ClusterSpec {
+    /// order. Every index is validated up front: an out-of-range device
+    /// returns a typed [`SelectError`] naming the index and the cluster
+    /// size instead of panicking mid-copy.
+    pub fn try_select(&self, subset: &[usize]) -> Result<ClusterSpec, SelectError> {
+        if let Some(&index) = subset.iter().find(|&&i| i >= self.len()) {
+            return Err(SelectError { index, devices: self.len() });
+        }
         let gpus = subset.iter().map(|&i| self.gpus[i]).collect();
         let node = subset.iter().map(|&i| self.node[i]).collect();
         let links =
             subset.iter().map(|&a| subset.iter().map(|&b| self.links[a][b]).collect()).collect();
-        ClusterSpec { name: self.name.clone(), gpus, node, links, mfu: self.mfu }
+        Ok(ClusterSpec { name: self.name.clone(), gpus, node, links, mfu: self.mfu })
+    }
+
+    /// [`ClusterSpec::try_select`] for callers that have already bounded
+    /// the subset (the plan layer checks `dp·pp ≤ len` first). Panics with
+    /// the [`SelectError`] message on an out-of-range index.
+    pub fn select(&self, subset: &[usize]) -> ClusterSpec {
+        self.try_select(subset).unwrap_or_else(|e| panic!("ClusterSpec::select: {e}"))
     }
 
     /// The slowest link on a ring over the given devices — the bandwidth
@@ -265,6 +295,27 @@ mod tests {
         // 3,4,5 share a node; 6 is on the next node.
         assert_eq!(sub.p2p(0, 1).class, c.p2p(3, 4).class);
         assert_eq!(sub.p2p(2, 3).class, LinkClass::InfiniBandHdr);
+    }
+
+    #[test]
+    fn try_select_rejects_out_of_range_indices_with_a_typed_error() {
+        let c = fc_full_nvlink(4);
+        let err = c.try_select(&[0, 1, 9]).unwrap_err();
+        assert_eq!(err, SelectError { index: 9, devices: 4 });
+        assert_eq!(err.to_string(), "device index 9 out of range for a 4-device cluster");
+        // In-range subsets behave exactly like select().
+        assert_eq!(c.try_select(&[2, 0]).unwrap(), c.select(&[2, 0]));
+        // Empty subsets are legal and yield an empty cluster.
+        assert!(c.try_select(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_panics_with_the_named_index_not_a_raw_bounds_error() {
+        let c = lonestar6(4);
+        let result = std::panic::catch_unwind(|| c.select(&[0, 4]));
+        let msg = *result.unwrap_err().downcast::<String>().expect("string panic payload");
+        assert!(msg.contains("device index 4"), "panic must name the index: {msg}");
+        assert!(msg.contains("4-device cluster"), "panic must name the size: {msg}");
     }
 
     #[test]

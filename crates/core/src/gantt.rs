@@ -108,8 +108,11 @@ pub fn replay_timeline(cs: &ComputeSchedule, f_cost: u64, b_cost: u64, comm_cost
 
 /// Forward blocks print the micro-batch as `0-9A-Z`; backward blocks as
 /// `a-z` (so forward and backward are distinguishable even for digit
-/// indices); `*` beyond the drawable range.
-fn block_char(mb: u32, backward: bool) -> char {
+/// indices); `*` beyond the drawable range. Public because it is the
+/// shared visual language of every Gantt in the workspace — `hanayo-trace`
+/// paints real (simulated-seconds and wall-clock) timelines with the same
+/// alphabet.
+pub fn block_char(mb: u32, backward: bool) -> char {
     if backward {
         match mb {
             0..=25 => (b'a' + mb as u8) as char,
@@ -124,15 +127,17 @@ fn block_char(mb: u32, backward: bool) -> char {
     }
 }
 
-/// Render a timeline as text, one device per row.
-pub fn render(tl: &Timeline) -> String {
-    let width = tl.makespan as usize;
-    let mut out = String::with_capacity((width + 8) * tl.spans.len());
-    for (d, spans) in tl.spans.iter().enumerate() {
+/// The span-agnostic painter behind every ASCII Gantt: one device per
+/// row, `rows[d]` holding `(start_col, end_col, char)` cells to fill.
+/// [`render`] instantiates it for abstract-tick timelines; `hanayo-trace`
+/// instantiates it for real (measured or simulated) timelines scaled to a
+/// column budget.
+pub fn paint_rows(width: usize, rows: &[Vec<(usize, usize, char)>]) -> String {
+    let mut out = String::with_capacity((width + 8) * rows.len());
+    for (d, cells) in rows.iter().enumerate() {
         let mut row = vec!['.'; width];
-        for span in spans {
-            let ch = block_char(span.op.mb.0, span.op.backward);
-            for cell in row.iter_mut().take(span.end as usize).skip(span.start as usize) {
+        for &(start, end, ch) in cells {
+            for cell in row.iter_mut().take(end.min(width)).skip(start) {
                 *cell = ch;
             }
         }
@@ -141,6 +146,27 @@ pub fn render(tl: &Timeline) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Render a timeline as text, one device per row.
+pub fn render(tl: &Timeline) -> String {
+    let rows: Vec<Vec<(usize, usize, char)>> = tl
+        .spans
+        .iter()
+        .map(|spans| {
+            spans
+                .iter()
+                .map(|span| {
+                    (
+                        span.start as usize,
+                        span.end as usize,
+                        block_char(span.op.mb.0, span.op.backward),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    paint_rows(tl.makespan as usize, &rows)
 }
 
 /// Convenience: replay with the paper's drawing costs (`T_B = 2 T_F`,

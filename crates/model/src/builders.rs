@@ -71,6 +71,11 @@ impl MicroModel {
 /// FLOP columns are filled with positive per-stage proxies (so the table
 /// passes [`crate::partition`]-level numerics validation and timing stays
 /// meaningful-ish), scaled 2×/3× for the backward per the recompute mode.
+/// When *measured* timings are wanted instead of proxies, feed this table
+/// to `hanayo_trace::Calibration::cost_table` — calibration keeps these
+/// probed byte columns and replaces the timing columns with per-stage
+/// means fitted from a runtime trace, which is what lets the simulator
+/// predict the real runtime's makespan (`tests/trace_truth.rs`).
 ///
 /// Panics if any stage is empty: an identity stage has no measurable
 /// cost and no real partition produces one.

@@ -10,9 +10,11 @@ use hanayo_core::ids::{DeviceId, MicroBatch};
 use hanayo_model::Recompute;
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::Stage;
+use hanayo_trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A complete pipeline-training job description.
 #[derive(Clone)]
@@ -30,6 +32,11 @@ pub struct TrainerConfig {
     /// the backward — bit-identical gradients, strictly smaller resident
     /// stash (see [`TrainOutput::peak_stash_bytes`]).
     pub recompute: Recompute,
+    /// Record wall-clock spans around every worker op and return them as
+    /// [`TrainOutput::trace`]. Off by default: untraced workers take no
+    /// clock readings. Tracing never changes losses, weights or peaks —
+    /// it only observes.
+    pub trace: bool,
 }
 
 /// Results of a training run.
@@ -45,6 +52,11 @@ pub struct TrainOutput {
     /// deterministic and — given a cost table probed from the same stages —
     /// exactly equal to the simulator's `peak_mem − weight_mem`.
     pub peak_stash_bytes: Vec<usize>,
+    /// The measured execution trace, when [`TrainerConfig::trace`] asked
+    /// for one (`None` otherwise, and always `None` for the sequential
+    /// reference). Data-parallel runs merge every replica onto global
+    /// device ranks (`replica·P + local`) on one shared clock.
+    pub trace: Option<Trace>,
 }
 
 /// A training run that stopped on a worker-side invariant violation. The
@@ -122,7 +134,7 @@ pub fn train(cfg: &TrainerConfig, data: &[IterationData]) -> TrainOutput {
 /// a corrupt schedule) come back as a typed [`TrainError`] naming the
 /// failing device and operation instead of a cross-thread panic.
 pub fn try_train(cfg: &TrainerConfig, data: &[IterationData]) -> Result<TrainOutput, TrainError> {
-    try_train_with_dp(cfg, data, None, &Arc::new(AbortFlag::new()))
+    try_train_with_dp(cfg, data, None, &Arc::new(AbortFlag::new()), Instant::now())
 }
 
 /// Run `dp` identical pipeline replicas, each on its own data shard, with
@@ -145,6 +157,8 @@ pub fn try_train_data_parallel(
     // One latch across every replica: a failure anywhere must wake workers
     // of *all* replicas (they rendezvous in the shared hub).
     let abort = Arc::new(AbortFlag::new());
+    // One clock origin across every replica, so merged traces share an axis.
+    let origin = Instant::now();
     let outputs: Vec<Result<TrainOutput, TrainError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = data
             .iter()
@@ -153,7 +167,9 @@ pub fn try_train_data_parallel(
                 let cfg = cfg.clone();
                 let hub = Arc::clone(&hub);
                 let abort = Arc::clone(&abort);
-                scope.spawn(move || try_train_with_dp(&cfg, shard, Some((rank, hub)), &abort))
+                scope.spawn(move || {
+                    try_train_with_dp(&cfg, shard, Some((rank, hub)), &abort, origin)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("replica panicked")).collect()
@@ -175,10 +191,22 @@ pub fn try_train_data_parallel(
     let losses =
         (0..iters).map(|i| ok.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
     let peak = ok.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
+    // Merge replica traces onto global device ranks (`rank·P + local`).
+    let trace = cfg.trace.then(|| {
+        let p = cfg.schedule.lists.len() as u32;
+        let mut merged = Trace::new(p * dp as u32);
+        for (rank, out) in ok.iter().enumerate() {
+            if let Some(t) = &out.trace {
+                merged.merge_offset(t, rank as u32 * p);
+            }
+        }
+        merged
+    });
     Ok(TrainOutput {
         losses,
         stages: ok.into_iter().next().expect("dp >= 1").stages,
         peak_stash_bytes: peak,
+        trace,
     })
 }
 
@@ -187,6 +215,7 @@ fn try_train_with_dp(
     data: &[IterationData],
     dp: Option<(usize, Arc<AllreduceHub>)>,
     abort: &Arc<AbortFlag>,
+    origin: Instant,
 ) -> Result<TrainOutput, TrainError> {
     validate(cfg, data);
     let p = cfg.schedule.lists.len();
@@ -216,6 +245,8 @@ fn try_train_with_dp(
                     dp: dp.clone(),
                     recompute: cfg.recompute,
                     abort: Arc::clone(abort),
+                    trace: cfg.trace,
+                    origin,
                 };
                 let fab = fab.clone();
                 scope.spawn(move || run_worker(wcfg, mailbox, fab))
@@ -235,8 +266,12 @@ fn try_train_with_dp(
     let mut stages = cfg.stages.clone();
     let mut losses = Vec::new();
     let mut peaks = vec![0usize; p];
+    let mut trace = cfg.trace.then(|| Trace::new(p as u32));
     for report in reports {
         peaks[report.device.idx()] = report.peak_stash_bytes;
+        if let Some(trace) = &mut trace {
+            trace.events.extend(report.events);
+        }
         for (s, module) in report.modules {
             stages[s as usize] = module;
         }
@@ -244,7 +279,10 @@ fn try_train_with_dp(
             losses = report.losses;
         }
     }
-    Ok(TrainOutput { losses, stages, peak_stash_bytes: peaks })
+    if let Some(trace) = &mut trace {
+        trace.normalize();
+    }
+    Ok(TrainOutput { losses, stages, peak_stash_bytes: peaks, trace })
 }
 
 /// The ground truth: single-device synchronous training with the same
@@ -289,7 +327,7 @@ pub fn sequential_reference(
         }
         losses.push(iter_loss / b as f32);
     }
-    TrainOutput { losses, stages, peak_stash_bytes: Vec::new() }
+    TrainOutput { losses, stages, peak_stash_bytes: Vec::new(), trace: None }
 }
 
 /// Convenience: deterministic random regression data shaped for a pipeline
@@ -337,6 +375,7 @@ mod tests {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         (trainer, data)
     }
@@ -374,6 +413,7 @@ mod tests {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         let out = train(&cfg, &data);
         assert!(out.losses.last().unwrap() < out.losses.first().unwrap(), "{:?}", out.losses);
@@ -388,6 +428,79 @@ mod tests {
         assert_eq!(plain.losses, ckpt.losses, "checkpointed losses diverged");
         for (d, (c, p)) in ckpt.peak_stash_bytes.iter().zip(&plain.peak_stash_bytes).enumerate() {
             assert!(c < p, "device {d}: checkpointed peak {c} !< plain peak {p}");
+        }
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        use hanayo_trace::TraceKind;
+        let (cfg, data) = job(2, 4, Scheme::Hanayo { waves: 2 });
+        let plain = train(&cfg, &data);
+        assert!(plain.trace.is_none(), "tracing is opt-in");
+        let traced = train(&TrainerConfig { trace: true, ..cfg.clone() }, &data);
+        assert_eq!(plain.losses, traced.losses, "tracing changed the losses");
+        assert_eq!(plain.stages, traced.stages, "tracing changed the weights");
+        let trace = traced.trace.expect("trace requested");
+        trace.validate().unwrap();
+        assert_eq!(trace.devices, 2);
+        // Two iterations of B=4 across every stage: B·S forwards and
+        // backwards per iteration, an optimizer step per device per
+        // iteration, and the inter-device transfers.
+        let ops = 2 * 4 * cfg.schedule.stage_map.stages as usize;
+        let count = |k: TraceKind| trace.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(TraceKind::Fwd), ops);
+        assert_eq!(count(TraceKind::Bwd), ops);
+        // One local-work Optim span per stage per iteration (the flush
+        // walks each device's stages).
+        assert_eq!(count(TraceKind::Optim), 2 * cfg.schedule.stage_map.stages as usize);
+        assert!(count(TraceKind::Send) > 0 && count(TraceKind::Recv) > 0);
+        assert_eq!(count(TraceKind::Allreduce), 0, "no data parallelism here");
+        assert_eq!(count(TraceKind::Recompute), 0, "no checkpointing here");
+        assert!(trace.duration() > 0.0);
+    }
+
+    #[test]
+    fn checkpointed_tracing_splits_replay_from_backward() {
+        use hanayo_trace::TraceKind;
+        let (cfg, data) = job(2, 2, Scheme::Dapple);
+        let cfg = TrainerConfig { recompute: Recompute::Full, trace: true, ..cfg };
+        let trace = train(&cfg, &data).trace.unwrap();
+        let recomputes = trace.events.iter().filter(|e| e.kind == TraceKind::Recompute).count();
+        let backwards = trace.events.iter().filter(|e| e.kind == TraceKind::Bwd).count();
+        assert_eq!(recomputes, backwards, "one replay rides every checkpointed backward");
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn data_parallel_trace_merges_onto_global_ranks() {
+        use hanayo_trace::TraceKind;
+        let (cfg, _) = job(2, 2, Scheme::Hanayo { waves: 1 });
+        let cfg = TrainerConfig { trace: true, ..cfg };
+        let shards = vec![synthetic_data(41, 1, 2, 2, 8), synthetic_data(42, 1, 2, 2, 8)];
+        let out = train_data_parallel(&cfg, &shards);
+        let trace = out.trace.expect("trace requested");
+        trace.validate().unwrap();
+        assert_eq!(trace.devices, 4, "2 replicas × 2 devices");
+        let devices: std::collections::HashSet<u32> =
+            trace.events.iter().map(|e| e.device).collect();
+        assert_eq!(devices.len(), 4, "every global rank contributed spans");
+        assert!(trace.events.iter().any(|e| e.kind == TraceKind::Allreduce));
+        // The blocking all-reduce rendezvous is never inside an Optim
+        // span: the wait must count as communication, not busy compute.
+        for ar in trace.events.iter().filter(|e| e.kind == TraceKind::Allreduce) {
+            for op in
+                trace.events.iter().filter(|e| e.kind == TraceKind::Optim && e.device == ar.device)
+            {
+                assert!(
+                    ar.t_end <= op.t_start + 1e-12 || ar.t_start >= op.t_end - 1e-12,
+                    "allreduce [{}, {}] overlaps optim [{}, {}] on device {}",
+                    ar.t_start,
+                    ar.t_end,
+                    op.t_start,
+                    op.t_end,
+                    ar.device
+                );
+            }
         }
     }
 
@@ -467,6 +580,7 @@ mod tests {
             lr: 0.1,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         let result = std::panic::catch_unwind(|| train(&cfg, &data));
         assert!(result.is_err(), "chimera-native must be rejected");

@@ -20,9 +20,11 @@ use hanayo_core::ids::{DeviceId, MicroBatch, StageId};
 use hanayo_model::Recompute;
 use hanayo_tensor::loss::{mse, softmax_cross_entropy};
 use hanayo_tensor::{Stage, StageGrads, StageStash, Tensor};
+use hanayo_trace::{TraceEvent, TraceKind};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Loss functions the last pipeline stage can apply.
 #[derive(Debug, Clone)]
@@ -232,6 +234,15 @@ pub struct WorkerConfig {
     pub recompute: Recompute,
     /// Run-wide cancellation latch (shared with every peer worker).
     pub abort: Arc<AbortFlag>,
+    /// Record an [`Instant`]-based [`TraceEvent`] span around every op
+    /// (forward, backward + checkpointing replay, send, receive,
+    /// all-reduce, optimizer step). Off by default: the untraced path
+    /// takes no clock readings at all.
+    pub trace: bool,
+    /// Clock origin shared by every worker of the run (and, for
+    /// data-parallel runs, every replica), so span timestamps land on one
+    /// common axis.
+    pub origin: Instant,
 }
 
 /// What a worker hands back when the run finishes.
@@ -249,6 +260,11 @@ pub struct WorkerReport {
     /// is where checkpointing's memory win becomes *measured* rather than
     /// modelled (the memory-truth suite pins it against the simulator).
     pub peak_stash_bytes: usize,
+    /// Measured spans, when the config asked for tracing (empty
+    /// otherwise, and best-effort-partial when the worker stopped on an
+    /// error). The trainer merges all devices' events into the run's
+    /// [`hanayo_trace::Trace`].
+    pub events: Vec<TraceEvent>,
     /// The invariant violation that stopped this worker, if any.
     pub error: Option<WorkerError>,
 }
@@ -258,8 +274,16 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
     let device = cfg.device;
     let mut losses = Vec::new();
     let mut peak_stash = 0usize;
+    let mut events = Vec::new();
 
-    let outcome = run_action_lists(&mut cfg, &mut mailbox, &fabric, &mut losses, &mut peak_stash);
+    let outcome = run_action_lists(
+        &mut cfg,
+        &mut mailbox,
+        &fabric,
+        &mut losses,
+        &mut peak_stash,
+        &mut events,
+    );
     let error = outcome.err();
     if let Some(e) = &error {
         // Wake peers blocked on messages or collectives this worker will
@@ -276,6 +300,7 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
         modules: std::mem::take(&mut cfg.modules),
         losses,
         peak_stash_bytes: peak_stash,
+        events,
         error,
     }
 }
@@ -286,6 +311,7 @@ fn run_action_lists(
     fabric: &Fabric,
     losses: &mut Vec<f32>,
     peak_stash: &mut usize,
+    events: &mut Vec<TraceEvent>,
 ) -> Result<(), WorkerError> {
     let schedule = Arc::clone(&cfg.schedule);
     let device = cfg.device;
@@ -294,6 +320,25 @@ fn run_action_lists(
     let actions = &schedule.lists[device.idx()].actions;
     let data_arc = Arc::clone(&cfg.data);
     let mut cur_stash = 0usize;
+
+    // Span instrumentation: `tick()` reads the shared-origin clock only
+    // when tracing (the untraced path never touches it); `span` records a
+    // completed op.
+    let tracing = cfg.trace;
+    let origin = cfg.origin;
+    let tick = || -> f64 {
+        if tracing {
+            origin.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    let dev = device.0;
+    let span = |events: &mut Vec<TraceEvent>, kind, mb: Option<u32>, stage: Option<u32>, t0, t1| {
+        if tracing {
+            events.push(TraceEvent { device: dev, kind, mb, stage, t_start: t0, t_end: t1 });
+        }
+    };
 
     for (iter, data) in data_arc.iter().enumerate() {
         let iter = iter as u32;
@@ -308,6 +353,7 @@ fn run_action_lists(
         for action in actions {
             match action {
                 Action::Forward { mb, stage } => {
+                    let t0 = tick();
                     let x = if stage.0 == 0 {
                         data.inputs[mb.idx()].clone()
                     } else {
@@ -343,8 +389,10 @@ fn run_action_lists(
                         };
                         route(&schedule, device, tag, y, &mut local, &mut outbound);
                     }
+                    span(events, TraceKind::Fwd, Some(mb.0), Some(stage.0), t0, tick());
                 }
                 Action::Backward { mb, stage } => {
+                    let t0 = tick();
                     let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
                     let dy =
                         local.remove(&tag).ok_or(WorkerError::MissingGradient { device, tag })?;
@@ -356,6 +404,7 @@ fn run_action_lists(
                         .modules
                         .get(&stage.0)
                         .ok_or(WorkerError::MissingModule { device, stage: *stage })?;
+                    let mut t_replay = None;
                     let st = match entry {
                         Stashed::Activations(st) => st,
                         // Checkpointed: replay the stage forward from the
@@ -363,7 +412,11 @@ fn run_action_lists(
                         // the original forward (updates happen only at the
                         // flush), so the regenerated stash — and therefore
                         // every gradient — is bit-identical.
-                        Stashed::Boundary(x) => module.forward(&x).1,
+                        Stashed::Boundary(x) => {
+                            let st = module.forward(&x).1;
+                            t_replay = Some(tick());
+                            st
+                        }
                     };
                     let (dx, grads) = module.backward(&st, &dy);
                     slots
@@ -378,41 +431,81 @@ fn run_action_lists(
                         };
                         route(&schedule, device, tag, dx, &mut local, &mut outbound);
                     }
+                    // Under checkpointing the replay and the true backward
+                    // are separate spans, so calibration can attribute the
+                    // extra forward to the right place.
+                    let t1 = tick();
+                    match t_replay {
+                        Some(tr) => {
+                            span(events, TraceKind::Recompute, Some(mb.0), Some(stage.0), t0, tr);
+                            span(events, TraceKind::Bwd, Some(mb.0), Some(stage.0), tr, t1);
+                        }
+                        None => span(events, TraceKind::Bwd, Some(mb.0), Some(stage.0), t0, t1),
+                    }
                 }
                 Action::Comm(op) => match op.dir {
                     CommDir::Send => {
+                        let t0 = tick();
                         let tensor = outbound
                             .remove(&op.tag)
                             .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
                         fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
+                        let (mb, stage) = (op.tag.mb.0, op.tag.stage.0);
+                        span(events, TraceKind::Send, Some(mb), Some(stage), t0, tick());
                     }
                     CommDir::Recv => {
+                        let t0 = tick();
                         let tensor = mailbox
                             .recv_abortable(iter, op.tag, &cfg.abort)
                             .ok_or(WorkerError::Aborted { device })?;
                         local.insert(op.tag, tensor);
+                        let (mb, stage) = (op.tag.mb.0, op.tag.stage.0);
+                        span(events, TraceKind::Recv, Some(mb), Some(stage), t0, tick());
                     }
                 },
                 Action::BatchedComm(ops) => {
                     // Post all sends first (non-blocking), then drain the
                     // receives — the deadlock-free batch_isend_irecv order.
                     for op in ops.iter().filter(|o| o.dir == CommDir::Send) {
+                        let t0 = tick();
                         let tensor = outbound
                             .remove(&op.tag)
                             .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
                         fabric.send(op.peer.idx(), Envelope { iter, tag: op.tag, tensor });
+                        span(
+                            events,
+                            TraceKind::Send,
+                            Some(op.tag.mb.0),
+                            Some(op.tag.stage.0),
+                            t0,
+                            tick(),
+                        );
                     }
                     for op in ops.iter().filter(|o| o.dir == CommDir::Recv) {
+                        let t0 = tick();
                         let tensor = mailbox
                             .recv_abortable(iter, op.tag, &cfg.abort)
                             .ok_or(WorkerError::Aborted { device })?;
                         local.insert(op.tag, tensor);
+                        span(
+                            events,
+                            TraceKind::Recv,
+                            Some(op.tag.mb.0),
+                            Some(op.tag.stage.0),
+                            t0,
+                            tick(),
+                        );
                     }
                 }
                 Action::OptimizerStep => {
                     let mut stage_ids: Vec<u32> = cfg.modules.keys().copied().collect();
                     stage_ids.sort_unstable();
                     for s in stage_ids {
+                        // The Optim spans cover only the local
+                        // reduce/step work; the blocking all-reduce
+                        // rendezvous is its own (comm-kind) span, so the
+                        // wait is never double-counted as busy compute.
+                        let t0 = tick();
                         let module = cfg.modules.get_mut(&s).expect("own key");
                         let mut total = module.zero_grads();
                         for slot in slots.get_mut(&s).expect("own key") {
@@ -422,12 +515,20 @@ fn run_action_lists(
                             })?;
                             total.accumulate(&g);
                         }
-                        if let Some((rank, hub)) = &cfg.dp {
+                        let t1 = if let Some((rank, hub)) = &cfg.dp {
+                            let a0 = tick();
+                            span(events, TraceKind::Optim, None, Some(s), t0, a0);
                             total = hub
                                 .try_allreduce(iter, s, *rank, total)
                                 .ok_or(WorkerError::Aborted { device })?;
-                        }
+                            let a1 = tick();
+                            span(events, TraceKind::Allreduce, None, Some(s), a0, a1);
+                            a1
+                        } else {
+                            t0
+                        };
                         module.sgd_step(&total, cfg.lr);
+                        span(events, TraceKind::Optim, None, Some(s), t1, tick());
                     }
                 }
             }

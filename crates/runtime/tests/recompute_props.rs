@@ -52,6 +52,7 @@ proptest! {
                     lr: 0.05,
                     loss: LossKind::Mse,
                     recompute,
+                    trace: false,
                 },
                 &data,
             )

@@ -33,6 +33,7 @@ use hanayo_cluster::ClusterSpec;
 use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
 use hanayo_core::ids::StageId;
 use hanayo_model::CostTable;
+use hanayo_trace::{Trace, TraceEvent, TraceKind};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -54,6 +55,12 @@ pub struct SimOptions {
     /// well-tuned figure). Only the exposed remainder is charged, and the
     /// value is clamped to `[0, 1]` at evaluation time.
     pub allreduce_overlap: f64,
+    /// Lower the executed spans and transfers into a
+    /// [`hanayo_trace::Trace`] (returned by [`simulate_traced`]). Off by
+    /// default: the untraced fast path stays branch-cheap and the
+    /// `engine_fastpath` bench guards it. Tracing never perturbs the
+    /// report — traced and untraced runs are bit-identical.
+    pub trace: bool,
 }
 
 impl Default for SimOptions {
@@ -63,6 +70,7 @@ impl Default for SimOptions {
             recv_lookahead: 1,
             lookahead_window: 8,
             allreduce_overlap: 0.8,
+            trace: false,
         }
     }
 }
@@ -408,6 +416,13 @@ struct Engine<'a> {
     spans: Vec<Vec<SimSpan>>,
     cur_mem: Vec<u64>,
     peak_mem: Vec<u64>,
+
+    /// Stage count, for decoding flat tag keys back into `(mb, stage)`
+    /// when lowering transfers into trace events.
+    stages: u32,
+    /// Trace events accumulated when `opts.trace` is set (empty, never
+    /// touched, otherwise).
+    trace_events: Vec<TraceEvent>,
 }
 
 impl<'a> Engine<'a> {
@@ -447,7 +462,36 @@ impl<'a> Engine<'a> {
         };
         *cursor = free + occupancy;
         self.scheduled[slot] = true;
+        if self.opts.trace {
+            // Lower the rendezvous transfer: the send occupies the link on
+            // the source; the receive spans transfer start to arrival on
+            // the destination.
+            let (mb, stage) = self.decode_tag(key);
+            self.trace_events.push(TraceEvent {
+                device: src as u32,
+                kind: TraceKind::Send,
+                mb,
+                stage,
+                t_start: free,
+                t_end: free + occupancy,
+            });
+            self.trace_events.push(TraceEvent {
+                device: dst as u32,
+                kind: TraceKind::Recv,
+                mb,
+                stage,
+                t_start: free,
+                t_end: free + occupancy + link.latency,
+            });
+        }
         self.push_event(free + occupancy + link.latency, Ev::Arrived { dst: dst as u32, key });
+    }
+
+    /// Invert [`tag_key`]: flat key → `(mb, stage)`.
+    #[inline]
+    fn decode_tag(&self, key: u32) -> (Option<u32>, Option<u32>) {
+        let pair = key / 2;
+        (Some(pair / self.stages), Some(pair % self.stages))
     }
 
     fn post_recv(&mut self, dst: usize, key: u32, now: f64) {
@@ -548,6 +592,19 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Op::Step => {
+                    if self.opts.trace {
+                        // The simulator charges the flush no time; a
+                        // zero-duration marker keeps the event stream
+                        // structurally identical to the runtime's.
+                        self.trace_events.push(TraceEvent {
+                            device: d as u32,
+                            kind: TraceKind::Optim,
+                            mb: None,
+                            stage: None,
+                            t_start: now,
+                            t_end: now,
+                        });
+                    }
                     self.pc[d] += 1;
                 }
             }
@@ -560,6 +617,16 @@ impl<'a> Engine<'a> {
                 let dev = dev as usize;
                 self.busy[dev] += t - start;
                 self.spans[dev].push(SimSpan { start, end: t, mb, stage, backward });
+                if self.opts.trace {
+                    self.trace_events.push(TraceEvent {
+                        device: dev as u32,
+                        kind: if backward { TraceKind::Bwd } else { TraceKind::Fwd },
+                        mb: Some(mb),
+                        stage: Some(stage),
+                        t_start: start,
+                        t_end: t,
+                    });
+                }
                 let bytes = self.cost.stash_bytes[stage as usize];
                 if backward {
                     self.cur_mem[dev] = self.cur_mem[dev].saturating_sub(bytes);
@@ -605,6 +672,20 @@ pub fn simulate(
     cluster: &ClusterSpec,
     opts: SimOptions,
 ) -> SimReport {
+    simulate_traced(schedule, cost, cluster, opts).0
+}
+
+/// [`simulate`], additionally lowering the run into a [`Trace`] when
+/// `opts.trace` is set (`None` otherwise). The report is bit-identical to
+/// an untraced run, and the trace's makespan equals the report's
+/// `iteration_time` exactly — the `trace_truth` suite pins both across
+/// every golden scheme.
+pub fn simulate_traced(
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> (SimReport, Option<Trace>) {
     let p = schedule.lists.len();
     assert_eq!(cluster.len(), p, "cluster size must match the pipeline");
     assert_eq!(
@@ -646,6 +727,8 @@ pub fn simulate(
         spans: (0..p).map(|_| Vec::new()).collect(),
         cur_mem: weight_mem.clone(),
         peak_mem: weight_mem.clone(),
+        stages: schedule.stage_map.stages,
+        trace_events: Vec::new(),
     };
 
     for d in 0..p {
@@ -666,7 +749,12 @@ pub fn simulate(
     let total_busy: f64 = eng.busy.iter().sum();
     let bubble_ratio =
         if iteration_time > 0.0 { 1.0 - total_busy / (iteration_time * p as f64) } else { 0.0 };
-    SimReport {
+    let trace = opts.trace.then(|| {
+        let mut trace = Trace { devices: p as u32, events: std::mem::take(&mut eng.trace_events) };
+        trace.normalize();
+        trace
+    });
+    let report = SimReport {
         iteration_time,
         device_busy: eng.busy,
         device_comm_wait: eng.comm_wait,
@@ -675,7 +763,8 @@ pub fn simulate(
         weight_mem,
         grad_mem,
         spans: eng.spans,
-    }
+    };
+    (report, trace)
 }
 
 #[cfg(test)]
@@ -851,6 +940,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_report_and_makespans_agree() {
+        for cluster in paper_clusters(8) {
+            for scheme in [Scheme::GPipe, Scheme::Dapple, Scheme::Hanayo { waves: 2 }] {
+                let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+                let schedule = build_schedule(&cfg).unwrap();
+                let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+                let untraced = simulate(&schedule, &cost, &cluster, SimOptions::default());
+                let (traced, trace) = simulate_traced(
+                    &schedule,
+                    &cost,
+                    &cluster,
+                    SimOptions { trace: true, ..Default::default() },
+                );
+                assert_eq!(
+                    untraced, traced,
+                    "{}/{scheme}: tracing changed the report",
+                    cluster.name
+                );
+                let trace = trace.expect("trace requested");
+                trace.validate().unwrap_or_else(|e| panic!("{}/{scheme}: {e}", cluster.name));
+                assert_eq!(trace.makespan(), traced.iteration_time, "{}/{scheme}", cluster.name);
+                assert_eq!(trace.devices, 8);
+                // Per-device busy from the trace is bit-identical to the
+                // engine's own accumulation (same values, same order).
+                assert_eq!(trace.device_busy(), traced.device_busy, "{}/{scheme}", cluster.name);
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_run_returns_no_trace() {
+        let cfg = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+        let (_, trace) =
+            simulate_traced(&schedule, &cost, &fc_full_nvlink(4), SimOptions::default());
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn trace_transfers_decode_tags_and_carry_latency() {
+        use hanayo_trace::TraceKind;
+        let cfg = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+        let cluster = lonestar6(4);
+        let (_, trace) = simulate_traced(
+            &schedule,
+            &cost,
+            &cluster,
+            SimOptions { trace: true, ..Default::default() },
+        );
+        let trace = trace.unwrap();
+        let sends: Vec<_> = trace.events.iter().filter(|e| e.kind == TraceKind::Send).collect();
+        let recvs: Vec<_> = trace.events.iter().filter(|e| e.kind == TraceKind::Recv).collect();
+        assert_eq!(sends.len(), recvs.len());
+        assert!(!sends.is_empty(), "a 4-device pipe transfers");
+        // Every transfer names a micro-batch and stage inside the config.
+        for e in sends.iter().chain(&recvs) {
+            assert!(e.mb.unwrap() < 4);
+            assert!(e.stage.unwrap() < cfg.stages());
+        }
+        // Receives outlast their paired sends by the wire latency.
+        let dt = recvs[0].t_end - sends[0].t_end;
+        assert!(dt > 0.0, "latency must separate occupancy from arrival");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod reference;
 pub mod report;
 pub mod tuner;
 
-pub use engine::{simulate, validate_numerics, NumericsError, SimOptions};
+pub use engine::{simulate, simulate_traced, validate_numerics, NumericsError, SimOptions};
 pub use plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 pub use reference::simulate_reference;
 pub use report::SimReport;

@@ -1,0 +1,274 @@
+//! Uniform trace analysis: utilisation, bubbles, comm/compute overlap and
+//! the critical path — the same code runs on simulated and measured
+//! traces, which is what makes their numbers comparable.
+
+use crate::event::{Trace, TraceEvent, TraceKind};
+use serde::Serialize;
+
+/// The derived statistics of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceAnalysis {
+    /// Executed wall span (`makespan − earliest start`), seconds.
+    pub duration: f64,
+    /// Latest span end, seconds.
+    pub makespan: f64,
+    /// `1 − Σ busy / (P · duration)`.
+    pub bubble_ratio: f64,
+    /// Busy compute seconds per device.
+    pub device_busy: Vec<f64>,
+    /// `busy / duration` per device.
+    pub utilization: Vec<f64>,
+    /// Seconds each device had at least one communication span active
+    /// (union, not sum — concurrent transfers count once).
+    pub comm_active: Vec<f64>,
+    /// Seconds each device had communication *and* compute active
+    /// simultaneously — the overlap §4.2's prefetching exists to create.
+    pub comm_overlapped: Vec<f64>,
+    /// Number of compute spans on the critical path.
+    pub critical_path_len: usize,
+    /// Total compute seconds on the critical path.
+    pub critical_path_compute: f64,
+    /// `critical_path_compute / duration`: 1.0 means the run is fully
+    /// serialised behind dependencies; the gap is bubble + comm stall.
+    pub critical_path_fraction: f64,
+}
+
+/// Union length of a set of (possibly overlapping) intervals.
+fn union_len(mut iv: Vec<(f64, f64)>) -> f64 {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+                let _ = cs;
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// The dependency an executed compute op waits on, mirroring the chain
+/// structure both engines execute: forwards chain down the stages,
+/// backwards chain back up, and the last stage's backward turns around on
+/// its own forward.
+fn dependency(e: &TraceEvent, last_stage: &[Option<u32>]) -> Option<(TraceKind, u32, u32)> {
+    let (mb, stage) = (e.mb?, e.stage?);
+    match e.kind {
+        TraceKind::Fwd => (stage > 0).then(|| (TraceKind::Fwd, mb, stage - 1)),
+        TraceKind::Bwd | TraceKind::Recompute => {
+            let last = last_stage.get(mb as usize).copied().flatten()?;
+            if stage < last {
+                Some((TraceKind::Bwd, mb, stage + 1))
+            } else {
+                Some((TraceKind::Fwd, mb, stage))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Analyze a normalized trace. Critical-path extraction assumes one
+/// iteration (on multi-iteration traces later occurrences shadow earlier
+/// ones, so the path is best-effort there); every other statistic is
+/// exact regardless.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let p = trace.devices as usize;
+    let duration = trace.duration();
+    let makespan = trace.makespan();
+    let device_busy = trace.device_busy();
+    let utilization =
+        device_busy.iter().map(|&b| if duration > 0.0 { b / duration } else { 0.0 }).collect();
+
+    let mut comm_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p];
+    let mut compute_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p];
+    for e in &trace.events {
+        let bucket = if e.kind.is_compute() { &mut compute_iv } else { &mut comm_iv };
+        bucket[e.device as usize].push((e.t_start, e.t_end));
+    }
+    // |comm ∩ compute| = |comm| + |compute| − |comm ∪ compute|; the comm
+    // union doubles as `comm_active`, and the compute union is the busy
+    // time already in hand (compute spans are serial per device).
+    let comm_active: Vec<f64> = comm_iv.iter().map(|iv| union_len(iv.clone())).collect();
+    let comm_overlapped: Vec<f64> = comm_iv
+        .into_iter()
+        .zip(compute_iv)
+        .enumerate()
+        .map(|(d, (comm, compute))| {
+            let both = comm_active[d] + device_busy[d];
+            let mut merged = comm;
+            merged.extend(compute);
+            both - union_len(merged)
+        })
+        .collect();
+
+    let (critical_path_len, critical_path_compute) = critical_path(trace);
+    let critical_path_fraction =
+        if duration > 0.0 { critical_path_compute / duration } else { 0.0 };
+
+    let total_busy: f64 = device_busy.iter().sum();
+    let bubble_ratio = if duration > 0.0 { 1.0 - total_busy / (duration * p as f64) } else { 0.0 };
+    TraceAnalysis {
+        duration,
+        makespan,
+        bubble_ratio,
+        device_busy,
+        utilization,
+        comm_active,
+        comm_overlapped,
+        critical_path_len,
+        critical_path_compute,
+        critical_path_fraction,
+    }
+}
+
+/// Walk the dependency chain back from the last-finishing compute span,
+/// at each hop taking whichever of {data dependency, same-device
+/// predecessor} finished last. Returns `(hops, compute seconds on path)`.
+fn critical_path(trace: &Trace) -> (usize, f64) {
+    use std::collections::HashMap;
+    let compute: Vec<&TraceEvent> = trace.events.iter().filter(|e| e.kind.is_compute()).collect();
+    if compute.is_empty() {
+        return (0, 0.0);
+    }
+
+    // Deepest stage each micro-batch's forward reached (the turnaround
+    // point for its backward chain).
+    let max_mb = compute.iter().filter_map(|e| e.mb).max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut last_stage: Vec<Option<u32>> = vec![None; max_mb];
+    for e in &compute {
+        if e.kind == TraceKind::Fwd {
+            if let (Some(mb), Some(stage)) = (e.mb, e.stage) {
+                let entry = &mut last_stage[mb as usize];
+                *entry = Some(entry.map_or(stage, |s| s.max(stage)));
+            }
+        }
+    }
+
+    // Index by (kind-class, mb, stage); Recompute resolves as Bwd's
+    // leading half so a Bwd's dependency can land on it.
+    let mut by_key: HashMap<(TraceKind, u32, u32), usize> = HashMap::new();
+    let mut prev_on_device: Vec<Option<usize>> = vec![None; compute.len()];
+    let mut last_on_device: Vec<Option<usize>> = vec![None; trace.devices as usize];
+    for (i, e) in compute.iter().enumerate() {
+        let d = e.device as usize;
+        prev_on_device[i] = last_on_device[d];
+        last_on_device[d] = Some(i);
+        if let (Some(mb), Some(stage)) = (e.mb, e.stage) {
+            let kind = if e.kind == TraceKind::Recompute { TraceKind::Bwd } else { e.kind };
+            // Later events shadow earlier ones (multi-iteration traces).
+            by_key.insert((kind, mb, stage), i);
+        }
+    }
+
+    let mut cur = (0..compute.len())
+        .max_by(|&a, &b| compute[a].t_end.total_cmp(&compute[b].t_end))
+        .expect("non-empty");
+    let mut hops = 1usize;
+    let mut total = compute[cur].duration();
+    // The dependency structure is acyclic, but cap the walk at the event
+    // count so a malformed hand-built trace cannot loop the analyzer.
+    while hops <= compute.len() {
+        let e = compute[cur];
+        let dep = dependency(e, &last_stage)
+            .and_then(|k| by_key.get(&k).copied())
+            .filter(|&i| compute[i].t_end <= e.t_start + 1e-12 && i != cur);
+        let prev = prev_on_device[cur];
+        let next = match (dep, prev) {
+            (Some(a), Some(b)) => Some(if compute[a].t_end >= compute[b].t_end { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        match next {
+            Some(i) => {
+                hops += 1;
+                total += compute[i].duration();
+                cur = i;
+            }
+            None => break,
+        }
+    }
+    (hops, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(device: u32, kind: TraceKind, mb: u32, stage: u32, t0: f64, t1: f64) -> TraceEvent {
+        TraceEvent { device, kind, mb: Some(mb), stage: Some(stage), t_start: t0, t_end: t1 }
+    }
+
+    /// A 2-device, 1-micro-batch pipeline: F0 on P0, F1 then B1 on P1,
+    /// then B0 back on P0, with a transfer overlapping P1's forward.
+    fn pipeline_trace() -> Trace {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, TraceKind::Fwd, 0, 0, 0.0, 1.0));
+        t.events.push(ev(1, TraceKind::Recv, 0, 1, 0.5, 1.2));
+        t.events.push(ev(1, TraceKind::Fwd, 0, 1, 1.2, 2.2));
+        t.events.push(ev(1, TraceKind::Bwd, 0, 1, 2.2, 4.2));
+        t.events.push(ev(0, TraceKind::Recv, 0, 0, 4.2, 4.4));
+        t.events.push(ev(0, TraceKind::Bwd, 0, 0, 4.4, 6.4));
+        t.normalize();
+        t
+    }
+
+    #[test]
+    fn analysis_statistics_are_consistent() {
+        let a = analyze(&pipeline_trace());
+        assert_eq!(a.makespan, 6.4);
+        assert_eq!(a.duration, 6.4);
+        assert_eq!(a.device_busy, vec![3.0, 3.0]);
+        assert!((a.utilization[0] - 3.0 / 6.4).abs() < 1e-12);
+        assert!((a.bubble_ratio - (1.0 - 6.0 / 12.8)).abs() < 1e-12);
+        // P1's 0.7 s receive overlaps P0's... nothing on P1's own compute
+        // before 1.2; overlap there is 0. P0's receive never overlaps its
+        // own compute either.
+        for (got, want) in a.comm_active.iter().zip([0.2, 0.7]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        assert_eq!(a.comm_overlapped, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn critical_path_walks_the_dependency_chain() {
+        let a = analyze(&pipeline_trace());
+        // B0(P0) ← B1(P1) ← F1(P1) ← F0(P0): 4 hops, 6.0 s of compute.
+        assert_eq!(a.critical_path_len, 4);
+        assert!((a.critical_path_compute - 6.0).abs() < 1e-12);
+        assert!(a.critical_path_fraction < 1.0);
+    }
+
+    #[test]
+    fn overlapped_comm_is_measured() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, TraceKind::Fwd, 0, 0, 0.0, 2.0));
+        t.events.push(ev(0, TraceKind::Recv, 1, 0, 1.0, 3.0));
+        t.events.push(ev(0, TraceKind::Recv, 2, 0, 1.5, 2.5));
+        t.normalize();
+        let a = analyze(&t);
+        // Comm union [1, 3] = 2 s, of which [1, 2] overlaps compute.
+        assert!((a.comm_active[0] - 2.0).abs() < 1e-12);
+        assert!((a.comm_overlapped[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeros() {
+        let a = analyze(&Trace::new(3));
+        assert_eq!(a.critical_path_len, 0);
+        assert_eq!(a.bubble_ratio, 0.0);
+        assert_eq!(a.device_busy, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        assert_eq!(union_len(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0)]), 3.0);
+        assert_eq!(union_len(Vec::new()), 0.0);
+    }
+}

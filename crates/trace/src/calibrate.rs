@@ -1,0 +1,317 @@
+//! Profile-guided cost calibration: fit per-stage `T_F`/`T_B` and the
+//! link time from a *measured* runtime trace, and re-express them as a
+//! [`CostTable`] the simulator (and therefore the tuner) consumes.
+//!
+//! This is the loop the paper's §4 runtime closes — "the profiler measures
+//! real per-stage times and feeds them into the performance model" — and
+//! the one Chimera-style systems call profile-guided cost modelling:
+//!
+//! ```text
+//! measure (runtime trace) → calibrate() → CostTable → simulate/tune → predict
+//! ```
+//!
+//! The probe-based `hanayo_model::builders::micro_cost_table` supplies the
+//! *byte* columns (stash/weight/gradient sizes probed from the real
+//! stages); [`Calibration::cost_table`] replaces its proxy *timing*
+//! columns with measured ones, so a simulation driven by the result
+//! predicts the measured runtime's makespan (the `trace_truth` suite pins
+//! the tolerance).
+
+use crate::event::{Trace, TraceKind};
+use hanayo_cluster::ClusterSpec;
+use hanayo_model::CostTable;
+use serde::Serialize;
+use std::fmt;
+
+/// Durations shorter than this are clamped up so a fast op can never
+/// produce a zero (or negative-rounded) cost entry, which
+/// `hanayo_sim::validate_numerics` would reject.
+const MIN_SECONDS: f64 = 1e-9;
+
+/// Fitted per-stage timings (seconds), straight from a measured trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Calibration {
+    /// Mean measured forward seconds per stage.
+    pub t_fwd: Vec<f64>,
+    /// Mean measured backward seconds per stage, *including* the
+    /// checkpointing replay when the trace was recorded under
+    /// `Recompute::Full` (the simulator charges the replay inside `T_B`).
+    pub t_bwd: Vec<f64>,
+    /// Forward samples behind each mean.
+    pub fwd_samples: Vec<usize>,
+    /// Backward samples behind each mean.
+    pub bwd_samples: Vec<usize>,
+    /// Mean measured send seconds (the runtime's transfer cost; 0 when
+    /// the trace has no sends).
+    pub t_link: f64,
+    /// Mean measured optimizer-step seconds (0 when absent).
+    pub t_optim: f64,
+    /// Mean measured all-reduce seconds (0 for single-pipeline traces).
+    pub t_allreduce: f64,
+    /// The device each stage's spans executed on (used to pick the right
+    /// `effective_flops` when re-expressing times as FLOPs).
+    pub stage_device: Vec<u32>,
+}
+
+/// Why a trace could not be calibrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrateError {
+    /// The trace has no compute events at all.
+    Empty,
+    /// A stage has no forward (or no backward) samples — the trace does
+    /// not cover the pipeline it claims to.
+    MissingStage {
+        /// The uncovered stage.
+        stage: usize,
+        /// `"fwd"` or `"bwd"`.
+        direction: &'static str,
+    },
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::Empty => write!(f, "trace has no compute events to calibrate from"),
+            CalibrateError::MissingStage { stage, direction } => {
+                write!(f, "trace has no {direction} samples for stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+/// Fit a [`Calibration`] from a measured trace covering `stages` pipeline
+/// stages. Every stage must appear with at least one forward and one
+/// backward sample.
+pub fn calibrate(trace: &Trace, stages: usize) -> Result<Calibration, CalibrateError> {
+    if !trace.events.iter().any(|e| e.kind.is_compute()) {
+        return Err(CalibrateError::Empty);
+    }
+    let mut fwd_sum = vec![0.0f64; stages];
+    let mut fwd_n = vec![0usize; stages];
+    let mut bwd_sum = vec![0.0f64; stages];
+    let mut bwd_n = vec![0usize; stages];
+    let mut stage_device = vec![0u32; stages];
+    let mut link_sum = 0.0f64;
+    let mut link_n = 0usize;
+    let mut optim_sum = 0.0f64;
+    let mut optim_n = 0usize;
+    let mut ar_sum = 0.0f64;
+    let mut ar_n = 0usize;
+
+    for e in &trace.events {
+        match e.kind {
+            TraceKind::Fwd => {
+                if let Some(s) = e.stage.map(|s| s as usize).filter(|&s| s < stages) {
+                    fwd_sum[s] += e.duration();
+                    fwd_n[s] += 1;
+                    stage_device[s] = e.device;
+                }
+            }
+            // The replay is part of the backward's cost in the simulator's
+            // model (`T_B' = T_B + T_F`), so both span halves accumulate
+            // into the backward mean's numerator; only `Bwd` spans count
+            // as samples (one replay rides each checkpointed backward).
+            TraceKind::Bwd => {
+                if let Some(s) = e.stage.map(|s| s as usize).filter(|&s| s < stages) {
+                    bwd_sum[s] += e.duration();
+                    bwd_n[s] += 1;
+                }
+            }
+            TraceKind::Recompute => {
+                if let Some(s) = e.stage.map(|s| s as usize).filter(|&s| s < stages) {
+                    bwd_sum[s] += e.duration();
+                }
+            }
+            TraceKind::Send => {
+                link_sum += e.duration();
+                link_n += 1;
+            }
+            TraceKind::Recv => {}
+            TraceKind::Allreduce => {
+                ar_sum += e.duration();
+                ar_n += 1;
+            }
+            TraceKind::Optim => {
+                optim_sum += e.duration();
+                optim_n += 1;
+            }
+        }
+    }
+
+    for s in 0..stages {
+        if fwd_n[s] == 0 {
+            return Err(CalibrateError::MissingStage { stage: s, direction: "fwd" });
+        }
+        if bwd_n[s] == 0 {
+            return Err(CalibrateError::MissingStage { stage: s, direction: "bwd" });
+        }
+    }
+    let mean = |sum: f64, n: usize| if n > 0 { (sum / n as f64).max(MIN_SECONDS) } else { 0.0 };
+    Ok(Calibration {
+        t_fwd: fwd_sum.iter().zip(&fwd_n).map(|(&s, &n)| mean(s, n)).collect(),
+        t_bwd: bwd_sum.iter().zip(&bwd_n).map(|(&s, &n)| mean(s, n)).collect(),
+        fwd_samples: fwd_n,
+        bwd_samples: bwd_n,
+        t_link: if link_n > 0 { link_sum / link_n as f64 } else { 0.0 },
+        t_optim: if optim_n > 0 { optim_sum / optim_n as f64 } else { 0.0 },
+        t_allreduce: if ar_n > 0 { ar_sum / ar_n as f64 } else { 0.0 },
+        stage_device,
+    })
+}
+
+impl Calibration {
+    /// Number of calibrated stages.
+    pub fn stages(&self) -> usize {
+        self.t_fwd.len()
+    }
+
+    /// Re-express the measured timings as a [`CostTable`] for `cluster`:
+    /// FLOP columns become `time × effective_flops(stage's device)`, so
+    /// simulating on that same cluster reproduces the measured per-op
+    /// times; byte columns (stash/weight/grad) are taken from `bytes`
+    /// (typically `micro_cost_table`'s probed values, which the memory
+    /// truth suite already pins against the runtime). `msg_bytes` is
+    /// inverted from the measured link time through the cluster's first
+    /// pipeline link so the simulated transfer occupancy matches.
+    ///
+    /// Panics if `bytes` covers a different stage count.
+    pub fn cost_table(&self, bytes: &CostTable, cluster: &ClusterSpec) -> CostTable {
+        assert_eq!(
+            bytes.stages(),
+            self.stages(),
+            "byte-column table must cover the calibrated stage count"
+        );
+        // A trace recorded on more devices than `cluster` has (e.g. a
+        // data-parallel merge onto global ranks) must not silently pick
+        // an arbitrary device's speed on a heterogeneous cluster.
+        if let Some(&bad) = self.stage_device.iter().find(|&&d| d as usize >= cluster.len()) {
+            panic!(
+                "Calibration::cost_table: stage ran on device {bad}, but the target cluster has \
+                 only {} devices — calibrate per pipeline group, or pass the full cluster",
+                cluster.len()
+            );
+        }
+        let flops_at = |s: usize| cluster.effective_flops(self.stage_device[s] as usize);
+        let fwd_flops: Vec<f64> =
+            self.t_fwd.iter().enumerate().map(|(s, t)| t * flops_at(s)).collect();
+        let bwd_flops: Vec<f64> =
+            self.t_bwd.iter().enumerate().map(|(s, t)| t * flops_at(s)).collect();
+        let msg_bytes = if cluster.len() > 1 {
+            let link = cluster.p2p(0, 1);
+            if link.bandwidth.is_finite() {
+                ((self.t_link - link.latency).max(0.0) * link.bandwidth) as u64
+            } else {
+                bytes.msg_bytes
+            }
+        } else {
+            bytes.msg_bytes
+        };
+        CostTable {
+            layers_per_stage: bytes.layers_per_stage.clone(),
+            fwd_flops,
+            bwd_flops,
+            stash_bytes: bytes.stash_bytes.clone(),
+            weight_bytes: bytes.weight_bytes.clone(),
+            grad_bytes: bytes.grad_bytes.clone(),
+            msg_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use hanayo_cluster::topology::fc_full_nvlink;
+    use hanayo_model::config::ModelConfig;
+
+    fn ev(device: u32, kind: TraceKind, mb: u32, stage: u32, t0: f64, t1: f64) -> TraceEvent {
+        TraceEvent { device, kind, mb: Some(mb), stage: Some(stage), t_start: t0, t_end: t1 }
+    }
+
+    /// 2 stages on 2 devices, 2 micro-batches, known durations.
+    fn measured() -> Trace {
+        let mut t = Trace::new(2);
+        for mb in 0..2u32 {
+            let o = mb as f64 * 10.0;
+            t.events.push(ev(0, TraceKind::Fwd, mb, 0, o, o + 1.0));
+            t.events.push(ev(0, TraceKind::Send, mb, 1, o + 1.0, o + 1.1));
+            t.events.push(ev(1, TraceKind::Fwd, mb, 1, o + 1.5, o + 3.5));
+            t.events.push(ev(1, TraceKind::Bwd, mb, 1, o + 3.5, o + 6.5));
+            t.events.push(ev(0, TraceKind::Recompute, mb, 0, o + 7.0, o + 8.0));
+            t.events.push(ev(0, TraceKind::Bwd, mb, 0, o + 8.0, o + 9.0));
+        }
+        t.normalize();
+        t
+    }
+
+    #[test]
+    fn means_and_samples_are_per_stage() {
+        let c = calibrate(&measured(), 2).unwrap();
+        assert_eq!(c.fwd_samples, vec![2, 2]);
+        assert_eq!(c.bwd_samples, vec![2, 2]);
+        assert!((c.t_fwd[0] - 1.0).abs() < 1e-12);
+        assert!((c.t_fwd[1] - 2.0).abs() < 1e-12);
+        // Stage 0's backward mean folds the 1 s replay into the 1 s tail.
+        assert!((c.t_bwd[0] - 2.0).abs() < 1e-12);
+        assert!((c.t_bwd[1] - 3.0).abs() < 1e-12);
+        assert!((c.t_link - 0.1).abs() < 1e-12);
+        assert_eq!(c.stage_device, vec![0, 1]);
+    }
+
+    #[test]
+    fn missing_stage_is_a_typed_error() {
+        let err = calibrate(&measured(), 3).unwrap_err();
+        assert_eq!(err, CalibrateError::MissingStage { stage: 2, direction: "fwd" });
+        assert!(err.to_string().contains("stage 2"));
+        assert_eq!(calibrate(&Trace::new(2), 2).unwrap_err(), CalibrateError::Empty);
+    }
+
+    #[test]
+    fn cost_table_round_trips_through_effective_flops() {
+        let cluster = fc_full_nvlink(2);
+        let c = calibrate(&measured(), 2).unwrap();
+        let bytes = CostTable::build(&ModelConfig::bert64(), 2, 1);
+        let table = c.cost_table(&bytes, &cluster);
+        // Simulated compute time = flops / effective_flops == measured.
+        for s in 0..2 {
+            let dt = table.fwd_flops[s] / cluster.effective_flops(s);
+            assert!((dt - c.t_fwd[s]).abs() < 1e-9, "stage {s}: {dt}");
+            let db = table.bwd_flops[s] / cluster.effective_flops(s);
+            assert!((db - c.t_bwd[s]).abs() < 1e-9, "stage {s}: {db}");
+        }
+        // Byte columns ride through untouched.
+        assert_eq!(table.stash_bytes, bytes.stash_bytes);
+        assert_eq!(table.weight_bytes, bytes.weight_bytes);
+        // Simulated transfer time ≈ measured link time.
+        let link = cluster.p2p(0, 1);
+        let transfer = table.msg_bytes as f64 / link.bandwidth + link.latency;
+        assert!((transfer - c.t_link).abs() < 1e-6, "{transfer}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 devices")]
+    fn cost_table_rejects_traces_from_more_devices_than_the_cluster() {
+        // A DP-merged trace runs stages on global ranks ≥ P; converting
+        // its timings through a P-device cluster must fail loudly, not
+        // silently pick some other device's speed.
+        let mut t = measured();
+        for e in &mut t.events {
+            e.device += 2;
+        }
+        let c = calibrate(&t, 2).unwrap();
+        c.cost_table(&CostTable::build(&ModelConfig::bert64(), 2, 1), &fc_full_nvlink(2));
+    }
+
+    #[test]
+    fn sub_resolution_spans_clamp_to_positive_costs() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, TraceKind::Fwd, 0, 0, 1.0, 1.0));
+        t.events.push(ev(0, TraceKind::Bwd, 0, 0, 1.0, 1.0));
+        t.normalize();
+        let c = calibrate(&t, 1).unwrap();
+        assert!(c.t_fwd[0] > 0.0 && c.t_bwd[0] > 0.0);
+    }
+}

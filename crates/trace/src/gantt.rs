@@ -1,0 +1,85 @@
+//! ASCII Gantt rendering over *real* timelines.
+//!
+//! `hanayo_core::gantt` draws schedules under abstract unit costs; this
+//! module draws a [`Trace`] — measured wall-clock spans from the threaded
+//! runtime, or simulated seconds from the discrete-event engine — with
+//! the same visual alphabet (`0-9A-Z` forwards, `a-z` backwards, `.`
+//! idle) through the same shared painter, so the two kinds of chart read
+//! identically:
+//!
+//! ```text
+//! P0 |000111222...aaa...bbb..ccc
+//! P1 |...000111222aaabbbccc.....
+//! ```
+
+use crate::event::{Trace, TraceKind};
+use hanayo_core::gantt::{block_char, paint_rows};
+
+/// Render the trace's compute spans, scaled to `width` columns. Comm
+/// spans are not painted (idle-or-comm shows as `.`); the backward-time
+/// replay of a checkpointed stage paints as backward. A compute span of
+/// any positive duration gets at least one cell so short ops stay
+/// visible.
+pub fn render(trace: &Trace, width: usize) -> String {
+    let span = trace.duration();
+    if span <= 0.0 || width == 0 {
+        return (0..trace.devices).map(|d| format!("P{d:<2}|\n")).collect();
+    }
+    let t0 = trace.start_time();
+    let col = |t: f64| (((t - t0) / span) * width as f64).round() as usize;
+    let mut rows: Vec<Vec<(usize, usize, char)>> = vec![Vec::new(); trace.devices as usize];
+    for e in &trace.events {
+        let ch = match e.kind {
+            TraceKind::Fwd => block_char(e.mb.unwrap_or(u32::MAX), false),
+            TraceKind::Bwd | TraceKind::Recompute => block_char(e.mb.unwrap_or(u32::MAX), true),
+            TraceKind::Optim => 'O',
+            _ => continue,
+        };
+        let start = col(e.t_start).min(width.saturating_sub(1));
+        let end = col(e.t_end).max(start + 1).min(width);
+        rows[e.device as usize].push((start, end, ch));
+    }
+    paint_rows(width, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(device: u32, kind: TraceKind, mb: u32, t0: f64, t1: f64) -> TraceEvent {
+        TraceEvent { device, kind, mb: Some(mb), stage: Some(0), t_start: t0, t_end: t1 }
+    }
+
+    #[test]
+    fn rows_scale_to_width_and_share_the_alphabet() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, TraceKind::Fwd, 0, 0.0, 1.0));
+        t.events.push(ev(0, TraceKind::Bwd, 0, 1.0, 2.0));
+        t.events.push(ev(1, TraceKind::Recv, 0, 0.0, 1.0));
+        t.events.push(ev(1, TraceKind::Fwd, 0, 1.0, 2.0));
+        t.normalize();
+        let text = render(&t, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "P0 |00000aaaaa");
+        // Comm is not painted: P1 idles (dot) through its receive.
+        assert_eq!(lines[1], "P1 |.....00000");
+    }
+
+    #[test]
+    fn short_spans_stay_visible() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, TraceKind::Fwd, 1, 0.0, 100.0));
+        t.events.push(ev(0, TraceKind::Fwd, 2, 100.0, 100.001));
+        t.normalize();
+        let text = render(&t, 20);
+        assert!(text.contains('2'), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_rows() {
+        let text = render(&Trace::new(3), 12);
+        assert_eq!(text, "P0 |\nP1 |\nP2 |\n");
+    }
+}

@@ -71,6 +71,7 @@ fn main() {
         lr: 0.05,
         loss: LossKind::Mse,
         recompute: Recompute::None,
+        trace: false,
     };
     let data = synthetic_data(2, 3, b as usize, 2, 8);
     let out = train(&trainer, &data);

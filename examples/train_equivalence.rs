@@ -46,6 +46,7 @@ fn main() {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
@@ -97,6 +98,7 @@ fn main() {
                 lr: 0.05,
                 loss: LossKind::Mse,
                 recompute,
+                trace: false,
             },
             &data,
         )

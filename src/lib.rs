@@ -16,6 +16,10 @@
 //! * [`sim`] — the discrete-event execution engine and `D×P` plans.
 //! * [`runtime`] — the threaded action-list runtime with bit-exact
 //!   gradient equivalence.
+//! * [`trace`] — unified execution tracing for both engines: one event
+//!   model, Chrome-trace export, bubble/utilisation/critical-path
+//!   analysis, and profile-guided cost calibration
+//!   (measure → calibrate → sweep → predict).
 //! * [`repro`] — regeneration of every figure in the paper's evaluation.
 //!
 //! ## Quickstart
@@ -44,3 +48,4 @@ pub use hanayo_repro as repro;
 pub use hanayo_runtime as runtime;
 pub use hanayo_sim as sim;
 pub use hanayo_tensor as tensor;
+pub use hanayo_trace as trace;

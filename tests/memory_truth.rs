@@ -82,6 +82,7 @@ fn measure(scheme: Scheme, runnable: bool, mode: Recompute) -> Truth {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute: mode,
+            trace: false,
         };
         let data = synthetic_data(13, 1, B as usize, ROWS, WIDTH);
         train(&trainer, &data).peak_stash_bytes
@@ -167,6 +168,7 @@ fn training_bits_are_mode_independent_on_every_runnable_golden_scheme() {
                     lr: 0.05,
                     loss: LossKind::Mse,
                     recompute: mode,
+                    trace: false,
                 },
                 &data,
             )

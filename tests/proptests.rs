@@ -111,6 +111,7 @@ proptest! {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         let data = synthetic_data(seed.wrapping_add(1), 1, b as usize, 2, 6);
         let out = train(&trainer, &data);

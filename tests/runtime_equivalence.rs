@@ -26,6 +26,7 @@ fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
             lr: 0.03,
             loss: LossKind::Mse,
             recompute,
+            trace: false,
         };
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
@@ -77,6 +78,7 @@ fn cross_entropy_loss_matches_sequential() {
         lr: 0.05,
         loss: LossKind::CrossEntropy { labels },
         recompute: Recompute::Full,
+        trace: false,
     };
     let mut data = synthetic_data(8, 1, 3, 3, 6);
     // Targets are unused by cross-entropy but must exist shape-wise.
@@ -108,6 +110,7 @@ fn all_schemes_agree_with_each_other_on_one_model() {
             lr: 0.02,
             loss: LossKind::Mse,
             recompute: Recompute::None,
+            trace: false,
         };
         let out = train(&trainer, &data);
         let params: Vec<f32> = out.stages.iter().flat_map(|st| st.flat_params()).collect();
@@ -130,6 +133,7 @@ fn data_parallel_hanayo_trains_and_replicates() {
         lr: 0.05,
         loss: LossKind::Mse,
         recompute: Recompute::None,
+        trace: false,
     };
     let shards = vec![synthetic_data(31, 2, 2, 2, 8), synthetic_data(32, 2, 2, 2, 8)];
     let a = train_data_parallel(&trainer, &shards);
@@ -152,6 +156,7 @@ fn pipeline_stash_respects_schedule_shape() {
             lr: 0.05,
             loss: LossKind::Mse,
             recompute,
+            trace: false,
         };
         let data = synthetic_data(4, 1, b as usize, 2, 8);
         train(&trainer, &data)
