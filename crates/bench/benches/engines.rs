@@ -15,7 +15,7 @@ use hanayo_core::validate::validate;
 use hanayo_model::builders::MicroModel;
 use hanayo_model::{CostTable, ModelConfig};
 use hanayo_runtime::trainer::{synthetic_data, train, TrainerConfig};
-use hanayo_runtime::{LossKind, Recompute};
+use hanayo_runtime::LossKind;
 use hanayo_sim::{simulate, simulate_reference, SimOptions};
 use hanayo_tensor::rng::{seeded, uniform};
 use hanayo_tensor::Stage;
@@ -189,14 +189,7 @@ fn bench_runtime(c: &mut Criterion) {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 5 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-        recompute: Recompute::None,
-        trace: false,
-    };
+    let trainer = TrainerConfig::new(schedule, model.build_stages(s), 0.05, LossKind::Mse);
     let data = synthetic_data(6, 1, 4, 2, 8);
     g.bench_function("threaded_iteration_p2_b4", |b| b.iter(|| black_box(train(&trainer, &data))));
     g.finish();

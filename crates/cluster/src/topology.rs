@@ -36,7 +36,18 @@ pub struct ClusterSpec {
     /// Model FLOPs utilisation: fraction of peak the training kernels
     /// actually achieve (0.4–0.5 is typical for well-tuned transformers).
     pub mfu: f64,
+    /// Mean time between failures of a *single* device, seconds. The
+    /// fleet-level MTBF a recovery model should use is `device_mtbf_s / n`
+    /// for an `n`-device job (`hanayo_ckpt::recovery::cluster_mtbf_s`).
+    /// The default (`DEFAULT_DEVICE_MTBF_S`, ~4 months) matches published
+    /// per-GPU failure rates for large training fleets; `f64::INFINITY`
+    /// models a failure-free cluster.
+    pub device_mtbf_s: f64,
 }
+
+/// Default per-device MTBF: ~10⁷ seconds (≈ 116 days), the order of
+/// magnitude reported for datacenter GPU fleets.
+pub const DEFAULT_DEVICE_MTBF_S: f64 = 1.0e7;
 
 impl ClusterSpec {
     /// Number of devices.
@@ -82,7 +93,14 @@ impl ClusterSpec {
         let node = subset.iter().map(|&i| self.node[i]).collect();
         let links =
             subset.iter().map(|&a| subset.iter().map(|&b| self.links[a][b]).collect()).collect();
-        Ok(ClusterSpec { name: self.name.clone(), gpus, node, links, mfu: self.mfu })
+        Ok(ClusterSpec {
+            name: self.name.clone(),
+            gpus,
+            node,
+            links,
+            mfu: self.mfu,
+            device_mtbf_s: self.device_mtbf_s,
+        })
     }
 
     /// [`ClusterSpec::try_select`] for callers that have already bounded
@@ -90,6 +108,23 @@ impl ClusterSpec {
     /// the [`SelectError`] message on an out-of-range index.
     pub fn select(&self, subset: &[usize]) -> ClusterSpec {
         self.try_select(subset).unwrap_or_else(|e| panic!("ClusterSpec::select: {e}"))
+    }
+
+    /// The slowest inter-device link anywhere in the cluster — the
+    /// bandwidth floor a checkpoint drain or state reload cannot beat
+    /// (persistent storage hangs off the fabric, so a conservative
+    /// recovery model charges state movement at this rate). Falls back to
+    /// a loopback link for 0/1-device clusters.
+    pub fn weakest_link(&self) -> Link {
+        let mut worst = Link::of(LinkClass::Local);
+        for a in 0..self.len() {
+            for b in 0..self.len() {
+                if a != b && self.links[a][b].bandwidth < worst.bandwidth {
+                    worst = self.links[a][b];
+                }
+            }
+        }
+        worst
     }
 
     /// The slowest link on a ring over the given devices — the bandwidth
@@ -128,7 +163,14 @@ impl ClusterSpec {
                         .collect()
                 })
                 .collect();
-        ClusterSpec { name: name.to_string(), gpus, node, links, mfu }
+        ClusterSpec {
+            name: name.to_string(),
+            gpus,
+            node,
+            links,
+            mfu,
+            device_mtbf_s: DEFAULT_DEVICE_MTBF_S,
+        }
     }
 }
 
@@ -323,6 +365,25 @@ mod tests {
         let c = fc_full_nvlink(8);
         assert!(c.effective_flops(0) < GpuModel::A100_80G.peak_flops());
         assert!(c.effective_flops(0) > 0.3 * GpuModel::A100_80G.peak_flops());
+    }
+
+    #[test]
+    fn weakest_link_is_the_cluster_floor() {
+        // TACC's floor is the inter-node InfiniBand path; FC is uniform
+        // NVLink, so its floor is NVLink itself.
+        assert_eq!(lonestar6(8).weakest_link().class, LinkClass::InfiniBandHdr);
+        assert_eq!(fc_full_nvlink(8).weakest_link().class, LinkClass::NvLink3);
+        // Degenerate clusters fall back to loopback.
+        assert_eq!(fc_full_nvlink(1).weakest_link().class, LinkClass::Local);
+    }
+
+    #[test]
+    fn clusters_carry_a_finite_device_mtbf() {
+        for c in paper_clusters(8) {
+            assert!(c.device_mtbf_s.is_finite() && c.device_mtbf_s > 0.0, "{}", c.name);
+            // Selection preserves the failure model.
+            assert_eq!(c.select(&[0, 1]).device_mtbf_s, c.device_mtbf_s);
+        }
     }
 
     #[test]

@@ -219,12 +219,9 @@ fn run(args: &Args) -> Result<TraceDoc, String> {
         let model = MicroModel { width: 96, total_blocks: s as usize * 2, seed: 23 };
         let stages = model.build_stages(s);
         let trainer = TrainerConfig {
-            schedule: schedule.clone(),
-            stages: stages.clone(),
-            lr: 0.05,
-            loss: LossKind::Mse,
             recompute: args.recompute,
             trace: true,
+            ..TrainerConfig::new(schedule.clone(), stages.clone(), 0.05, LossKind::Mse)
         };
         let data = synthetic_data(17, args.iterations, b as usize, 64, 96);
         let trace = train(&trainer, &data).trace.expect("trace requested");

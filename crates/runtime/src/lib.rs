@@ -29,14 +29,23 @@
 //! * [`collective`] — the data-parallel gradient exchange used when a plan
 //!   runs several pipeline replicas (and by the Chimera-wave form).
 
+//! * **Fault tolerance** — [`trainer::try_train_resumable`] executes the
+//!   [`hanayo_ckpt::CheckpointPolicy`] (durable checkpoint every `k`
+//!   iterations) and the [`hanayo_ckpt::FailurePlan`] injection hook; a
+//!   crashed run hands back its last durable checkpoint, and
+//!   [`trainer::resume`] drives the remaining iterations to losses,
+//!   weights and peaks **bitwise equal** to an uninterrupted run.
+
 pub mod collective;
 pub mod mailbox;
 pub mod trainer;
 pub mod worker;
 
+pub use hanayo_ckpt::{Checkpoint, CheckpointPolicy, FailurePlan};
 pub use hanayo_model::Recompute;
 pub use trainer::{
-    train, train_data_parallel, try_train, try_train_data_parallel, LossKind, TrainError,
-    TrainOutput, TrainerConfig,
+    checkpoint_of, fingerprint_of, resume, resume_data_parallel, train, train_data_parallel,
+    try_train, try_train_data_parallel, try_train_data_parallel_resumable, try_train_resumable,
+    FailedRun, LossKind, ResumeError, TrainError, TrainOutput, TrainerConfig,
 };
 pub use worker::WorkerError;

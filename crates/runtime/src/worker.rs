@@ -15,6 +15,7 @@
 
 use crate::collective::AllreduceHub;
 use crate::mailbox::{AbortFlag, Envelope, Fabric, Mailbox};
+use hanayo_ckpt::FailurePlan;
 use hanayo_core::action::{Action, CommDir, MsgTag, Payload, Schedule};
 use hanayo_core::ids::{DeviceId, MicroBatch, StageId};
 use hanayo_model::Recompute;
@@ -36,6 +37,19 @@ pub enum LossKind {
         /// `labels[mb][row]` is the class of that row.
         labels: Vec<Vec<usize>>,
     },
+}
+
+impl LossKind {
+    /// What the checkpoint config fingerprint hashes: the kind *and* any
+    /// payload that changes the math. Cross-entropy labels are targets —
+    /// resuming under different labels would be a different program, so
+    /// they must move the fingerprint.
+    pub fn fingerprint_token(&self) -> String {
+        match self {
+            LossKind::Mse => "mse".to_string(),
+            LossKind::CrossEntropy { labels } => format!("cross_entropy:{labels:?}"),
+        }
+    }
 }
 
 /// What a worker keeps resident between a stage's forward and its
@@ -153,6 +167,33 @@ pub enum WorkerError {
         /// The device that unwound.
         device: DeviceId,
     },
+    /// An injected fault killed this device ([`FailurePlan::KillDevice`]).
+    Injected {
+        /// The killed device (local rank).
+        device: DeviceId,
+        /// Global iteration at which the device died.
+        iteration: u32,
+    },
+    /// An injected fault took this worker's outbound link down
+    /// ([`FailurePlan::DropLink`]).
+    LinkDown {
+        /// The sending device (local rank).
+        device: DeviceId,
+        /// The unreachable peer (local rank).
+        peer: DeviceId,
+        /// Global iteration at which the send hit the dead link.
+        iteration: u32,
+    },
+    /// The worker thread panicked (a bug below the typed-error layer —
+    /// e.g. a shape assert in the math kernels). Caught on the worker
+    /// thread so the trainer reports *which* device died instead of
+    /// propagating a poisoned join.
+    Panicked {
+        /// The device whose thread panicked.
+        device: DeviceId,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl WorkerError {
@@ -167,7 +208,10 @@ impl WorkerError {
             | WorkerError::MissingSlotGradient { device, .. }
             | WorkerError::StashNotDrained { device, .. }
             | WorkerError::UnsentOutbound { device, .. }
-            | WorkerError::Aborted { device } => device,
+            | WorkerError::Aborted { device }
+            | WorkerError::Injected { device, .. }
+            | WorkerError::LinkDown { device, .. }
+            | WorkerError::Panicked { device, .. } => device,
         }
     }
 
@@ -207,6 +251,15 @@ impl fmt::Display for WorkerError {
             WorkerError::Aborted { device } => {
                 write!(f, "{device}: aborted after a peer failure")
             }
+            WorkerError::Injected { device, iteration } => {
+                write!(f, "{device}: killed by the failure plan at iteration {iteration}")
+            }
+            WorkerError::LinkDown { device, peer, iteration } => {
+                write!(f, "{device}: link to {peer} down (failure plan, iteration {iteration})")
+            }
+            WorkerError::Panicked { device, message } => {
+                write!(f, "{device}: worker thread panicked: {message}")
+            }
         }
     }
 }
@@ -234,6 +287,15 @@ pub struct WorkerConfig {
     pub recompute: Recompute,
     /// Run-wide cancellation latch (shared with every peer worker).
     pub abort: Arc<AbortFlag>,
+    /// Deterministic fault to inject (device indices are global ranks;
+    /// see [`FailurePlan`]). Injected faults fail through the same typed
+    /// error + abort path a real invariant violation would take.
+    pub failure: FailurePlan,
+    /// Global index of this run segment's first iteration: resumed (or
+    /// chunked) runs execute `data[0..]` as global iterations
+    /// `iter_base..`, and the failure plan is expressed in global
+    /// iterations.
+    pub iter_base: u32,
     /// Record an [`Instant`]-based [`TraceEvent`] span around every op
     /// (forward, backward + checkpointing replay, send, receive,
     /// all-reduce, optimizer step). Off by default: the untraced path
@@ -276,15 +338,19 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
     let mut peak_stash = 0usize;
     let mut events = Vec::new();
 
-    let outcome = run_action_lists(
-        &mut cfg,
-        &mut mailbox,
-        &fabric,
-        &mut losses,
-        &mut peak_stash,
-        &mut events,
-    );
-    let error = outcome.err();
+    // A panic below the typed-error layer (a shape assert in the math
+    // kernels, say) must not poison the trainer's join: catch it here and
+    // report it as a root-cause WorkerError naming this device, so the
+    // abort latch still trips and peers unwind instead of deadlocking.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_action_lists(&mut cfg, &mut mailbox, &fabric, &mut losses, &mut peak_stash, &mut events)
+    }));
+    let error = match outcome {
+        Ok(result) => result.err(),
+        Err(payload) => {
+            Some(WorkerError::Panicked { device, message: panic_message(payload.as_ref()) })
+        }
+    };
     if let Some(e) = &error {
         // Wake peers blocked on messages or collectives this worker will
         // never complete. Cascades re-trip harmlessly.
@@ -340,8 +406,25 @@ fn run_action_lists(
         }
     };
 
+    // The failure plan speaks global device ranks (`replica · P + local`)
+    // and global iterations (`iter_base + local`), so injected faults stay
+    // well-defined across data-parallel replicas and resumed segments.
+    let failure = cfg.failure;
+    let rank_base = cfg.dp.as_ref().map_or(0, |(r, _)| *r as u32 * schedule.lists.len() as u32);
+    let global_dev = rank_base + device.0;
+    let link_dropped = |peer: DeviceId, global_iter: u32| {
+        matches!(failure, FailurePlan::DropLink { src, dst, iteration }
+            if global_dev == src && rank_base + peer.0 == dst && global_iter >= iteration)
+    };
+
     for (iter, data) in data_arc.iter().enumerate() {
         let iter = iter as u32;
+        let global_iter = cfg.iter_base + iter;
+        if let FailurePlan::KillDevice { device: d, iteration } = failure {
+            if global_dev == d && global_iter == iteration {
+                return Err(WorkerError::Injected { device, iteration: global_iter });
+            }
+        }
         // In-flight state for this iteration.
         let mut local: HashMap<MsgTag, Tensor> = HashMap::new();
         let mut outbound: HashMap<MsgTag, Tensor> = HashMap::new();
@@ -445,6 +528,13 @@ fn run_action_lists(
                 }
                 Action::Comm(op) => match op.dir {
                     CommDir::Send => {
+                        if link_dropped(op.peer, global_iter) {
+                            return Err(WorkerError::LinkDown {
+                                device,
+                                peer: op.peer,
+                                iteration: global_iter,
+                            });
+                        }
                         let t0 = tick();
                         let tensor = outbound
                             .remove(&op.tag)
@@ -467,6 +557,13 @@ fn run_action_lists(
                     // Post all sends first (non-blocking), then drain the
                     // receives — the deadlock-free batch_isend_irecv order.
                     for op in ops.iter().filter(|o| o.dir == CommDir::Send) {
+                        if link_dropped(op.peer, global_iter) {
+                            return Err(WorkerError::LinkDown {
+                                device,
+                                peer: op.peer,
+                                iteration: global_iter,
+                            });
+                        }
                         let t0 = tick();
                         let tensor = outbound
                             .remove(&op.tag)
@@ -545,6 +642,18 @@ fn run_action_lists(
         }
     }
     Ok(())
+}
+
+/// Render a caught panic payload (strings are the overwhelmingly common
+/// case; anything else is summarised).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Deliver a produced tensor: keep it local when the consumer stage lives

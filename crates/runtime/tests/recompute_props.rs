@@ -46,14 +46,7 @@ proptest! {
         let data = synthetic_data(seed.wrapping_add(5), 2, b as usize, 2, 6);
         let run = |recompute| {
             train(
-                &TrainerConfig {
-                    schedule: schedule.clone(),
-                    stages: model.build_stages(s),
-                    lr: 0.05,
-                    loss: LossKind::Mse,
-                    recompute,
-                    trace: false,
-                },
+                &TrainerConfig { recompute, ..TrainerConfig::new(schedule.clone(), model.build_stages(s), 0.05, LossKind::Mse) },
                 &data,
             )
         };

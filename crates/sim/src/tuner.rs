@@ -34,6 +34,8 @@
 
 use crate::engine::SimOptions;
 use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
+use hanayo_ckpt::recovery;
+use hanayo_ckpt::{RecoveryEval, RecoveryOptions};
 use hanayo_cluster::ClusterSpec;
 use hanayo_model::{ModelConfig, Recompute};
 use rayon::prelude::*;
@@ -49,6 +51,20 @@ pub struct Candidate {
     pub sim: SimOptions,
     /// Its simulated outcome.
     pub result: PlanResult,
+    /// The failure/recovery evaluation, when the search sweeps checkpoint
+    /// intervals ([`TuneOptions::checkpoint_intervals`]): the candidate's
+    /// interval, its checkpoint stall and restart cost, and the goodput
+    /// the ranking used. `None` on failure-free searches.
+    pub recovery: Option<RecoveryEval>,
+}
+
+impl Candidate {
+    /// The metric this candidate was ranked by: goodput under the
+    /// expected failure rate when the recovery axis is active, raw
+    /// throughput otherwise.
+    pub fn ranking_metric(&self) -> f64 {
+        self.recovery.map_or(self.result.throughput, |r| r.goodput_seq_per_s)
+    }
 }
 
 /// Why a candidate was excluded from the ranking.
@@ -150,6 +166,18 @@ pub struct TuneOptions {
     /// [`Recompute::None`] can come back ranked under [`Recompute::Full`].
     /// Duplicates are skipped; an empty list falls back to `None` only.
     pub recompute_modes: Vec<Recompute>,
+    /// Checkpoint intervals (iterations) to sweep. When non-empty, every
+    /// feasible plan is expanded into one candidate per interval, each
+    /// carrying a [`RecoveryEval`], and the ranking switches from raw
+    /// throughput to **goodput under the expected failure rate** (device
+    /// MTBF from the cluster, checkpoint stall from the plan's
+    /// weights+optimizer bytes over the weakest link). The Young–Daly
+    /// optimum falls out of the sweep. Zeros and duplicates are skipped;
+    /// empty disables the axis.
+    pub checkpoint_intervals: Vec<u32>,
+    /// Recovery-model knobs (restart latency, MTBF override) used by the
+    /// checkpoint-interval axis.
+    pub recovery: RecoveryOptions,
 }
 
 impl Default for TuneOptions {
@@ -163,6 +191,8 @@ impl Default for TuneOptions {
             recv_lookaheads: Vec::new(),
             micro_batch_merges: vec![1],
             recompute_modes: vec![Recompute::None],
+            checkpoint_intervals: Vec::new(),
+            recovery: RecoveryOptions::default(),
         }
     }
 }
@@ -178,6 +208,19 @@ impl TuneOptions {
             recompute_modes: Recompute::ALL.to_vec(),
             ..self
         }
+    }
+
+    /// The checkpoint intervals this search actually sweeps: zeros
+    /// dropped (an interval is at least one iteration), duplicates
+    /// skipped, first-seen order. Empty means the recovery axis is off.
+    pub fn checkpoint_interval_variants(&self) -> Vec<u32> {
+        let mut intervals = Vec::new();
+        for &k in &self.checkpoint_intervals {
+            if k > 0 && !intervals.contains(&k) {
+                intervals.push(k);
+            }
+        }
+        intervals
     }
 
     /// The recompute modes this search actually sweeps: deduplicated in
@@ -322,10 +365,66 @@ fn candidate_space(
     out
 }
 
+/// Price one feasible plan at one checkpoint interval — the single place
+/// that decides what a checkpoint drains (the plan's largest per-device
+/// weights+optimizer payload, over the cluster's weakest link) and how
+/// failures arrive (fleet MTBF over the plan's devices). The tuner's
+/// interval axis, the `ckpt` binary's goodput table and the golden
+/// goodput snapshots all go through here.
+pub fn plan_recovery_eval(
+    result: &PlanResult,
+    cluster: &ClusterSpec,
+    interval: u32,
+    opts: &RecoveryOptions,
+) -> RecoveryEval {
+    let state_bytes = result.group_report.weight_mem.iter().copied().max().unwrap_or(0);
+    let devices = result.plan.dp * result.plan.pp;
+    let seq_per_iter = result.throughput * result.iteration_time;
+    recovery::evaluate(
+        result.iteration_time,
+        seq_per_iter,
+        state_bytes,
+        devices,
+        cluster.weakest_link(),
+        cluster.device_mtbf_s,
+        interval,
+        opts,
+    )
+}
+
+/// Expand one feasible plan across the checkpoint-interval axis: one
+/// candidate per interval, each priced by [`plan_recovery_eval`]. The
+/// last interval takes the base by move, so `n` intervals cost `n - 1`
+/// clones of the (span-heavy) plan result rather than `n`.
+fn recovery_candidates(
+    base: Candidate,
+    intervals: &[u32],
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> Vec<Candidate> {
+    let evals: Vec<RecoveryEval> = intervals
+        .iter()
+        .map(|&k| plan_recovery_eval(&base.result, cluster, k, &opts.recovery))
+        .collect();
+    let mut out = Vec::with_capacity(evals.len());
+    let mut remaining = evals.into_iter().peekable();
+    while let Some(eval) = remaining.next() {
+        if remaining.peek().is_some() {
+            out.push(Candidate { recovery: Some(eval), ..base.clone() });
+        } else {
+            out.push(Candidate { recovery: Some(eval), ..base });
+            break;
+        }
+    }
+    out
+}
+
 fn assemble(
     evaluated: Vec<(ParallelPlan, SimOptions, Result<PlanResult, String>)>,
     cluster: &ClusterSpec,
+    opts: &TuneOptions,
 ) -> Tuning {
+    let intervals = opts.checkpoint_interval_variants();
     let mut ranked = Vec::new();
     let mut rejected = Vec::new();
     for (plan, sim, outcome) in evaluated {
@@ -348,15 +447,28 @@ fn assemble(
                     devices: result.oom_devices.clone(),
                 });
             }
-            Ok(result) => ranked.push(Candidate { plan, sim, result }),
+            Ok(result) => {
+                let base = Candidate { plan, sim, result, recovery: None };
+                if intervals.is_empty() {
+                    ranked.push(base);
+                } else {
+                    ranked.extend(recovery_candidates(base, &intervals, cluster, opts));
+                }
+            }
             Err(reason) => rejected.push(Rejection::InvalidShape { plan, sim, reason }),
         }
     }
     ranked.sort_by(|a, b| {
-        b.result
-            .throughput
-            .total_cmp(&a.result.throughput)
+        // Goodput when the recovery axis is active, raw throughput
+        // otherwise; plan shape then interval break ties, so the order is
+        // fully deterministic either way.
+        b.ranking_metric()
+            .total_cmp(&a.ranking_metric())
             .then_with(|| plan_key(&a.plan, &a.sim).cmp(&plan_key(&b.plan, &b.sim)))
+            .then_with(|| {
+                let interval = |c: &Candidate| c.recovery.map(|r| r.interval_iterations);
+                interval(a).cmp(&interval(b))
+            })
     });
     Tuning { ranked, rejected }
 }
@@ -390,7 +502,7 @@ pub fn tune(
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let evaluated: Vec<_> =
         space.par_iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
-    assemble(evaluated, cluster)
+    assemble(evaluated, cluster, opts)
 }
 
 /// The serial reference for [`tune`]: identical candidate space, identical
@@ -406,7 +518,7 @@ pub fn tune_serial(
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let evaluated: Vec<_> =
         space.iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
-    assemble(evaluated, cluster)
+    assemble(evaluated, cluster, opts)
 }
 
 #[cfg(test)]
@@ -524,6 +636,70 @@ mod tests {
         assert_eq!(opts.recompute_variants(), vec![Recompute::Full, Recompute::None]);
         let empty = TuneOptions { recompute_modes: Vec::new(), ..Default::default() };
         assert_eq!(empty.recompute_variants(), vec![Recompute::None]);
+    }
+
+    #[test]
+    fn checkpoint_interval_axis_expands_and_ranks_by_goodput() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let mut cluster = fc_full_nvlink(8);
+        // A short-MTBF what-if cluster so the failure term actually bites.
+        cluster.device_mtbf_s = 40_000.0;
+        let base = TuneOptions { waves: vec![2], min_pp: 8, ..Default::default() };
+        let plain = tune(&model, &cluster, 8, 1, &base);
+        let with_axis = tune(
+            &model,
+            &cluster,
+            8,
+            1,
+            &TuneOptions { checkpoint_intervals: vec![4, 0, 16, 4], ..base },
+        );
+        // Dedup dropped the 0 and the duplicate: 2 intervals per plan.
+        assert_eq!(with_axis.ranked.len(), 2 * plain.ranked.len());
+        for c in &with_axis.ranked {
+            let r = c.recovery.expect("the axis annotates every candidate");
+            assert!(r.goodput_seq_per_s < c.result.throughput, "goodput must cost something");
+            assert!(r.efficiency > 0.0 && r.efficiency < 1.0);
+            assert_eq!(c.ranking_metric(), r.goodput_seq_per_s);
+        }
+        // Ranked by goodput, deterministically.
+        for pair in with_axis.ranked.windows(2) {
+            assert!(pair[0].ranking_metric() >= pair[1].ranking_metric());
+        }
+        // Plain searches carry no recovery annotation.
+        assert!(plain.ranked.iter().all(|c| c.recovery.is_none()));
+    }
+
+    #[test]
+    fn best_interval_matches_young_daly_closed_form() {
+        use hanayo_ckpt::recovery::young_daly_interval_s;
+        // Uniform-cost micro-model: one method, one factorisation, a dense
+        // interval grid. The sweep's winning interval must agree with the
+        // closed form within one grid step (documented tolerance: the
+        // optimum in iterations is fractional; the sweep is integral).
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let mut cluster = fc_full_nvlink(8);
+        cluster.device_mtbf_s = 40_000.0;
+        let opts = TuneOptions {
+            methods: vec![Method::Dapple],
+            waves: Vec::new(),
+            min_pp: 8,
+            checkpoint_intervals: (1..=400).collect(),
+            ..Default::default()
+        };
+        let t = tune(&model, &cluster, 8, 1, &opts);
+        let best = t.best().expect("one plan, many intervals");
+        let r = best.recovery.unwrap();
+        let star_s = young_daly_interval_s(r.checkpoint_write_s, r.cluster_mtbf_s, r.restart_s);
+        let star_k = star_s / best.result.iteration_time;
+        assert!(
+            (1.0..=400.0).contains(&star_k),
+            "closed-form optimum {star_k} must sit inside the sweep grid"
+        );
+        assert!(
+            (r.interval_iterations as f64 - star_k).abs() <= 1.0,
+            "sweep optimum {} vs Young–Daly {star_k}",
+            r.interval_iterations
+        );
     }
 
     #[test]

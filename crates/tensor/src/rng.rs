@@ -11,6 +11,22 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// The seeded stream at an exact position: `seeded(seed)` fast-forwarded
+/// past `draws` scalar draws. This is how a checkpoint records "where the
+/// data stream was": resuming from `(seed, draws)` continues the *same*
+/// stream the uninterrupted run would have consumed, which is one of the
+/// ingredients of bit-identical resume (`hanayo-ckpt`'s `RngCursor`).
+///
+/// Fast-forwarding replays (and discards) the skipped draws, so it costs
+/// `O(draws)` — fine for the micro-model data sizes this repo trains.
+pub fn seeded_at(seed: u64, draws: u64) -> StdRng {
+    let mut rng = seeded(seed);
+    for _ in 0..draws {
+        let _: f32 = rng.random();
+    }
+    rng
+}
+
 /// Uniform tensor in `[-limit, limit)`.
 pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, limit: f32) -> Tensor {
     let data = (0..rows * cols).map(|_| rng.random::<f32>() * 2.0 * limit - limit).collect();
@@ -51,6 +67,17 @@ mod tests {
         // constants and regenerate the golden schedule snapshots.
         let t = uniform(&mut seeded(42), 1, 4, 1.0);
         assert_eq!(t.data, vec![0.48312974, -0.68017924, -0.44279778, -0.3116187]);
+    }
+
+    #[test]
+    fn seeded_at_continues_the_same_stream() {
+        // Draw 10 values straight through, then reproduce the tail from a
+        // fast-forwarded stream: positions 4.. must match bit for bit.
+        let full = uniform(&mut seeded(9), 1, 10, 1.0);
+        let tail = uniform(&mut seeded_at(9, 4), 1, 6, 1.0);
+        assert_eq!(&full.data[4..], &tail.data[..]);
+        // Position 0 is the plain seeded stream.
+        assert_eq!(uniform(&mut seeded_at(9, 0), 1, 3, 1.0), uniform(&mut seeded(9), 1, 3, 1.0));
     }
 
     #[test]

@@ -11,9 +11,10 @@ use crate::ops;
 use crate::rng;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 /// One primitive layer inside a stage.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Block {
     /// Affine map `y = x·W + b`.
     Linear {
@@ -71,7 +72,7 @@ impl StageStash {
 }
 
 /// Parameter gradients of one block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum BlockGrads {
     /// Gradients of a linear block.
     Linear {
@@ -92,7 +93,7 @@ pub enum BlockGrads {
 }
 
 /// Parameter gradients of a whole stage; supports exact accumulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageGrads {
     /// One entry per block, aligned with the stage's block list.
     pub per_block: Vec<BlockGrads>,
@@ -171,7 +172,10 @@ impl StageGrads {
 }
 
 /// A sequential stack of blocks — one pipeline stage's local module.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serde round-trips are bit-exact (see [`Tensor`]), so a stage written
+/// into a checkpoint and read back trains on from *identical* weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Stage {
     /// The blocks, applied in order.
     pub blocks: Vec<Block>,
@@ -487,6 +491,29 @@ mod tests {
         }
         let after = loss_of(&s);
         assert!(after < before, "loss did not go down: {before} -> {after}");
+    }
+
+    #[test]
+    fn stage_serde_roundtrip_is_bit_exact() {
+        let s = tiny_stage();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Stage = serde_json::from_str(&json).unwrap();
+        // PartialEq on f32 treats -0.0 == 0.0; compare the raw bits too.
+        assert_eq!(back, s);
+        let bits = |st: &Stage| st.flat_params().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&s), "parameter bits drifted through serde");
+    }
+
+    #[test]
+    fn grads_serde_roundtrip_is_bit_exact() {
+        let s = tiny_stage();
+        let x = rng::uniform(&mut seeded(11), 2, 6, 0.5);
+        let dy = rng::uniform(&mut seeded(12), 2, 6, 0.5);
+        let (_, stash) = s.forward(&x);
+        let (_, g) = s.backward(&stash, &dy);
+        let back: StageGrads = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        let bits = |g: &StageGrads| g.flat().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&g));
     }
 
     #[test]

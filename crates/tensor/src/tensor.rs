@@ -1,11 +1,17 @@
 //! The dense row-major f32 matrix at the bottom of everything.
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Row-major 2-D f32 tensor. Rows are samples (the micro-batch dimension),
 /// columns are features.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serde round-trips are **bit-exact** for finite values: every `f32`
+/// widens losslessly to `f64`, the JSON writer renders the shortest
+/// round-trip form, and narrowing back recovers the original bits — the
+/// property the checkpoint format (`hanayo-ckpt`) is built on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,
@@ -203,6 +209,22 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_bit_exact() {
+        // Awkward values on purpose: subnormal, negative zero, extremes.
+        let t = Tensor::from_vec(
+            2,
+            3,
+            vec![0.1, -0.0, f32::MIN_POSITIVE / 8.0, f32::MAX, -f32::MIN, 1.0e-7],
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!((back.rows, back.cols), (t.rows, t.cols));
+        for (a, b) in t.data.iter().zip(&back.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} round-tripped to {b}");
+        }
     }
 
     #[test]

@@ -296,6 +296,23 @@ impl Trace {
         );
         self.normalize();
     }
+
+    /// Merge `other` into `self` with every span shifted `t_offset`
+    /// seconds later — how a *resumed* run's trace lands on the same clock
+    /// as the segment recorded before the failure: the caller passes the
+    /// earlier trace's [`Trace::makespan`], so the resumed spans start
+    /// where the interrupted ones ended and every analysis (busy, bubble,
+    /// overlap, critical path) stays exact over the merged timeline.
+    /// Re-normalizes.
+    pub fn merge_shifted(&mut self, other: &Trace, t_offset: f64) {
+        self.devices = self.devices.max(other.devices);
+        self.events.extend(other.events.iter().map(|e| TraceEvent {
+            t_start: e.t_start + t_offset,
+            t_end: e.t_end + t_offset,
+            ..*e
+        }));
+        self.normalize();
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +373,30 @@ mod tests {
         assert_eq!(a.devices, 4);
         assert_eq!(a.events[1].device, 3);
         a.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_shifted_resumes_on_one_clock() {
+        // Pre-failure segment: device 0 computes [0,1], device 1 [1,2].
+        let mut before = Trace::new(2);
+        before.events.push(ev(0, TraceKind::Fwd, 0.0, 1.0));
+        before.events.push(ev(1, TraceKind::Fwd, 1.0, 2.0));
+        before.normalize();
+        // Resumed segment, recorded from its own origin.
+        let mut resumed = Trace::new(2);
+        resumed.events.push(ev(0, TraceKind::Fwd, 0.0, 0.5));
+        resumed.events.push(ev(0, TraceKind::Bwd, 0.5, 1.5));
+        resumed.normalize();
+        let offset = before.makespan();
+        before.merge_shifted(&resumed, offset);
+        before.validate().unwrap();
+        assert_eq!(before.makespan(), 3.5);
+        // Busy time is the sum of both segments, exactly.
+        assert_eq!(before.device_busy(), vec![2.5, 1.0]);
+        // No resumed span starts before the pre-failure makespan.
+        let shifted: Vec<&TraceEvent> =
+            before.events.iter().filter(|e| e.t_start >= offset).collect();
+        assert_eq!(shifted.len(), 2);
     }
 
     #[test]

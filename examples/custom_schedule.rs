@@ -23,7 +23,7 @@ use hanayo::core::validate::validate;
 use hanayo::model::builders::MicroModel;
 use hanayo::model::{CostTable, ModelConfig};
 use hanayo::runtime::trainer::{sequential_reference, synthetic_data, train, TrainerConfig};
-use hanayo::runtime::{LossKind, Recompute};
+use hanayo::runtime::LossKind;
 use hanayo::sim::{simulate, SimOptions};
 
 fn main() {
@@ -65,14 +65,7 @@ fn main() {
     // And train with it — correctness comes for free from the runtime.
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 13 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-        recompute: Recompute::None,
-        trace: false,
-    };
+    let trainer = TrainerConfig::new(schedule, model.build_stages(s), 0.05, LossKind::Mse);
     let data = synthetic_data(2, 3, b as usize, 2, 8);
     let out = train(&trainer, &data);
     let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);

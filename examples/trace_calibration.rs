@@ -28,12 +28,8 @@ fn main() {
     let model = MicroModel { width: 96, total_blocks: s as usize * 2, seed: 23 };
     let stages = model.build_stages(s);
     let trainer = TrainerConfig {
-        schedule: schedule.clone(),
-        stages: stages.clone(),
-        lr: 0.05,
-        loss: LossKind::Mse,
-        recompute: Recompute::None,
         trace: true,
+        ..TrainerConfig::new(schedule.clone(), stages.clone(), 0.05, LossKind::Mse)
     };
     let data = synthetic_data(17, 1, b as usize, 64, 96);
     let trace = train(&trainer, &data).trace.expect("trace requested");

@@ -40,14 +40,7 @@ fn main() {
         // stage count (4 for the straight pipes, 8/16 for the waves).
         let model = MicroModel { width, total_blocks: 16, seed: 42 };
 
-        let trainer = TrainerConfig {
-            schedule,
-            stages: model.build_stages(stages),
-            lr: 0.05,
-            loss: LossKind::Mse,
-            recompute: Recompute::None,
-            trace: false,
-        };
+        let trainer = TrainerConfig::new(schedule, model.build_stages(stages), 0.05, LossKind::Mse);
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
         let bitwise = out.stages.iter().zip(&seq.stages).all(|(a, b)| a == b);
@@ -93,12 +86,13 @@ fn main() {
     let run = |recompute| {
         train(
             &TrainerConfig {
-                schedule: schedule.clone(),
-                stages: model.build_stages(stages),
-                lr: 0.05,
-                loss: LossKind::Mse,
                 recompute,
-                trace: false,
+                ..TrainerConfig::new(
+                    schedule.clone(),
+                    model.build_stages(stages),
+                    0.05,
+                    LossKind::Mse,
+                )
             },
             &data,
         )

@@ -20,6 +20,10 @@
 //!   model, Chrome-trace export, bubble/utilisation/critical-path
 //!   analysis, and profile-guided cost calibration
 //!   (measure → calibrate → sweep → predict).
+//! * [`ckpt`] — fault tolerance: the versioned bit-exact checkpoint
+//!   model, failure-injection plans, and the recovery cost model behind
+//!   the tuner's checkpoint-interval sweep (resume ≡ uninterrupted, by
+//!   construction and by test).
 //! * [`repro`] — regeneration of every figure in the paper's evaluation.
 //!
 //! ## Quickstart
@@ -41,6 +45,7 @@
 //! assert!(report.bubble_ratio < 0.3);
 //! ```
 
+pub use hanayo_ckpt as ckpt;
 pub use hanayo_cluster as cluster;
 pub use hanayo_core as core;
 pub use hanayo_model as model;

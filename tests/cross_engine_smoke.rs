@@ -29,6 +29,7 @@ fn ideal_cluster(p: usize) -> ClusterSpec {
         node: vec![0; p],
         links: vec![vec![Link::of(LinkClass::Local); p]; p],
         mfu: 0.5,
+        device_mtbf_s: f64::INFINITY,
     }
 }
 

@@ -77,12 +77,8 @@ fn measure(scheme: Scheme, runnable: bool, mode: Recompute) -> Truth {
     // Runtime: train one iteration and read the live-bytes peaks.
     let runtime_stash = runnable.then(|| {
         let trainer = TrainerConfig {
-            schedule: schedule.clone(),
-            stages: stages.clone(),
-            lr: 0.05,
-            loss: LossKind::Mse,
             recompute: mode,
-            trace: false,
+            ..TrainerConfig::new(schedule.clone(), stages.clone(), 0.05, LossKind::Mse)
         };
         let data = synthetic_data(13, 1, B as usize, ROWS, WIDTH);
         train(&trainer, &data).peak_stash_bytes
@@ -163,12 +159,13 @@ fn training_bits_are_mode_independent_on_every_runnable_golden_scheme() {
         let run = |mode| {
             train(
                 &TrainerConfig {
-                    schedule: schedule.clone(),
-                    stages: model.build_stages(s),
-                    lr: 0.05,
-                    loss: LossKind::Mse,
                     recompute: mode,
-                    trace: false,
+                    ..TrainerConfig::new(
+                        schedule.clone(),
+                        model.build_stages(s),
+                        0.05,
+                        LossKind::Mse,
+                    )
                 },
                 &data,
             )

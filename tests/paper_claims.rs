@@ -31,6 +31,7 @@ fn ideal_cluster(p: usize) -> ClusterSpec {
         node: vec![0; p],
         links: (0..p).map(|_| (0..p).map(|_| Link::of(LinkClass::Local)).collect()).collect(),
         mfu: 0.5,
+        device_mtbf_s: f64::INFINITY,
     }
 }
 

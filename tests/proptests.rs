@@ -11,7 +11,7 @@ use hanayo::core::validate::validate;
 use hanayo::model::builders::MicroModel;
 use hanayo::model::{CostTable, ModelConfig};
 use hanayo::runtime::trainer::{sequential_reference, synthetic_data, train, TrainerConfig};
-use hanayo::runtime::{LossKind, Recompute};
+use hanayo::runtime::LossKind;
 use hanayo::sim::{simulate, SimOptions};
 use proptest::prelude::*;
 
@@ -105,14 +105,7 @@ proptest! {
         let schedule = build_schedule(&cfg).unwrap();
         let s = schedule.stage_map.stages;
         let model = MicroModel { width: 6, total_blocks: s as usize, seed };
-        let trainer = TrainerConfig {
-            schedule,
-            stages: model.build_stages(s),
-            lr: 0.05,
-            loss: LossKind::Mse,
-            recompute: Recompute::None,
-            trace: false,
-        };
+        let trainer = TrainerConfig::new(schedule, model.build_stages(s), 0.05, LossKind::Mse);
         let data = synthetic_data(seed.wrapping_add(1), 1, b as usize, 2, 6);
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);

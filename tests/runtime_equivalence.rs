@@ -21,12 +21,8 @@ fn run_case(p: u32, b: u32, scheme: Scheme, iterations: usize) {
     // recomputation replays each stage forward inside the backward.
     for recompute in Recompute::ALL {
         let trainer = TrainerConfig {
-            schedule: schedule.clone(),
-            stages: model.build_stages(s),
-            lr: 0.03,
-            loss: LossKind::Mse,
             recompute,
-            trace: false,
+            ..TrainerConfig::new(schedule.clone(), model.build_stages(s), 0.03, LossKind::Mse)
         };
         let out = train(&trainer, &data);
         let seq = sequential_reference(&trainer.stages, &data, trainer.lr, &trainer.loss);
@@ -73,12 +69,13 @@ fn cross_entropy_loss_matches_sequential() {
     let model = MicroModel { width: 6, total_blocks: s as usize, seed: 3 };
     let labels = vec![vec![0usize, 2, 4], vec![1, 1, 3], vec![5, 0, 2]];
     let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::CrossEntropy { labels },
         recompute: Recompute::Full,
-        trace: false,
+        ..TrainerConfig::new(
+            schedule,
+            model.build_stages(s),
+            0.05,
+            LossKind::CrossEntropy { labels },
+        )
     };
     let mut data = synthetic_data(8, 1, 3, 3, 6);
     // Targets are unused by cross-entropy but must exist shape-wise.
@@ -104,14 +101,7 @@ fn all_schemes_agree_with_each_other_on_one_model() {
         let schedule = build_schedule(&cfg).unwrap();
         let s = schedule.stage_map.stages;
         let model = MicroModel { width: 8, total_blocks: 12, seed: 1 };
-        let trainer = TrainerConfig {
-            schedule,
-            stages: model.build_stages(s),
-            lr: 0.02,
-            loss: LossKind::Mse,
-            recompute: Recompute::None,
-            trace: false,
-        };
+        let trainer = TrainerConfig::new(schedule, model.build_stages(s), 0.02, LossKind::Mse);
         let out = train(&trainer, &data);
         let params: Vec<f32> = out.stages.iter().flat_map(|st| st.flat_params()).collect();
         match &reference {
@@ -127,14 +117,7 @@ fn data_parallel_hanayo_trains_and_replicates() {
     let schedule = build_schedule(&cfg).unwrap();
     let s = schedule.stage_map.stages;
     let model = MicroModel { width: 8, total_blocks: s as usize, seed: 21 };
-    let trainer = TrainerConfig {
-        schedule,
-        stages: model.build_stages(s),
-        lr: 0.05,
-        loss: LossKind::Mse,
-        recompute: Recompute::None,
-        trace: false,
-    };
+    let trainer = TrainerConfig::new(schedule, model.build_stages(s), 0.05, LossKind::Mse);
     let shards = vec![synthetic_data(31, 2, 2, 2, 8), synthetic_data(32, 2, 2, 2, 8)];
     let a = train_data_parallel(&trainer, &shards);
     let b2 = train_data_parallel(&trainer, &shards);
@@ -151,12 +134,8 @@ fn pipeline_stash_respects_schedule_shape() {
         let s = schedule.stage_map.stages;
         let model = MicroModel { width: 8, total_blocks: 8, seed: 9 };
         let trainer = TrainerConfig {
-            schedule,
-            stages: model.build_stages(s),
-            lr: 0.05,
-            loss: LossKind::Mse,
             recompute,
-            trace: false,
+            ..TrainerConfig::new(schedule, model.build_stages(s), 0.05, LossKind::Mse)
         };
         let data = synthetic_data(4, 1, b as usize, 2, 8);
         train(&trainer, &data)

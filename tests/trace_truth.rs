@@ -91,12 +91,8 @@ fn traced_run(p: u32, b: u32, scheme: Scheme) -> (Trace, Vec<hanayo::tensor::Sta
     let model = MicroModel { width: 64, total_blocks: s as usize * 2, seed: 23 };
     let stages = model.build_stages(s);
     let trainer = TrainerConfig {
-        schedule,
-        stages: stages.clone(),
-        lr: 0.05,
-        loss: LossKind::Mse,
-        recompute: Recompute::None,
         trace: true,
+        ..TrainerConfig::new(schedule, stages.clone(), 0.05, LossKind::Mse)
     };
     let data = synthetic_data(17, 1, b as usize, 16, 64);
     let out = train(&trainer, &data);
