@@ -109,6 +109,10 @@ pub enum ConfigError {
     ChimeraNeedsEvenSplit,
     /// `waves == 0` or `chunks == 0`.
     ZeroSubdivision,
+    /// The stage count `S` does not fit in `u32` (e.g. `2·W·P` overflows
+    /// for an enormous wave count). Without this guard `stages()` panics
+    /// in debug builds and silently wraps in release builds.
+    StageOverflow,
 }
 
 impl fmt::Display for ConfigError {
@@ -119,6 +123,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "Chimera requires an even device count and micro-batch count")
             }
             ConfigError::ZeroSubdivision => write!(f, "waves/chunks must be non-zero"),
+            ConfigError::StageOverflow => {
+                write!(f, "stage count overflows u32 (waves/chunks × devices too large)")
+            }
         }
     }
 }
@@ -149,7 +156,24 @@ impl PipelineConfig {
             }
             _ => {}
         }
+        if self.checked_stages().is_none() {
+            return Err(ConfigError::StageOverflow);
+        }
         Ok(())
+    }
+
+    /// `S` if it fits in `u32`, `None` on overflow (the shape
+    /// [`PipelineConfig::validate`] rejects as [`ConfigError::StageOverflow`]).
+    pub fn checked_stages(&self) -> Option<u32> {
+        match self.scheme {
+            Scheme::GPipe | Scheme::Dapple | Scheme::AsyncPipeDream | Scheme::Chimera => {
+                Some(self.devices)
+            }
+            Scheme::Interleaved { chunks } => self.devices.checked_mul(chunks),
+            Scheme::Hanayo { waves } => {
+                2u32.checked_mul(waves).and_then(|w| w.checked_mul(self.devices))
+            }
+        }
     }
 
     /// `S`: total number of model stages for this configuration.
@@ -216,6 +240,22 @@ mod tests {
             PipelineConfig::new(4, 4, Scheme::Hanayo { waves: 0 }).unwrap_err(),
             ConfigError::ZeroSubdivision
         );
+    }
+
+    #[test]
+    fn validation_rejects_stage_overflow() {
+        // 2·W·P would wrap: previously this panicked (debug) or silently
+        // wrapped (release) in stages(); now it is a named rejection.
+        assert_eq!(
+            PipelineConfig::new(4, 4, Scheme::Hanayo { waves: u32::MAX / 4 }).unwrap_err(),
+            ConfigError::StageOverflow
+        );
+        assert_eq!(
+            PipelineConfig::new(8, 4, Scheme::Interleaved { chunks: u32::MAX / 4 }).unwrap_err(),
+            ConfigError::StageOverflow
+        );
+        // A large-but-fitting shape still validates.
+        PipelineConfig::new(2, 2, Scheme::Hanayo { waves: 1 << 20 }).unwrap();
     }
 
     #[test]

@@ -10,14 +10,15 @@
 
 use crate::chain::ComputeSchedule;
 use crate::config::PipelineConfig;
-use crate::schedule::dapple;
+use crate::schedule::{dapple, ScheduleError};
 
 /// Generate the per-iteration op order (identical to DAPPLE; the schedule
-/// is asynchronous only across iterations).
-pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
-    let mut cs = dapple::generate(cfg);
+/// is asynchronous only across iterations). Degenerate shapes reject with
+/// DAPPLE's named reasons.
+pub fn generate(cfg: &PipelineConfig) -> Result<ComputeSchedule, ScheduleError> {
+    let mut cs = dapple::generate(cfg)?;
     cs.config = *cfg; // keep the AsyncPipeDream scheme marker
-    cs
+    Ok(cs)
 }
 
 #[cfg(test)]
@@ -29,12 +30,12 @@ mod tests {
     fn same_intra_iteration_order_as_dapple() {
         let a = PipelineConfig::new(4, 4, Scheme::AsyncPipeDream).unwrap();
         let d = PipelineConfig::new(4, 4, Scheme::Dapple).unwrap();
-        assert_eq!(generate(&a).per_device, dapple::generate(&d).per_device);
+        assert_eq!(generate(&a).unwrap().per_device, dapple::generate(&d).unwrap().per_device);
     }
 
     #[test]
     fn keeps_its_scheme_marker() {
         let cfg = PipelineConfig::new(4, 4, Scheme::AsyncPipeDream).unwrap();
-        assert_eq!(generate(&cfg).config.scheme, Scheme::AsyncPipeDream);
+        assert_eq!(generate(&cfg).unwrap().config.scheme, Scheme::AsyncPipeDream);
     }
 }

@@ -35,16 +35,47 @@ use crate::schedule::ScheduleError;
 use crate::stage_map::StageMap;
 use std::fmt;
 
-/// Errors specific to user-provided stage maps.
+/// Errors specific to user-provided stage maps. Every variant names the
+/// offending group/stage/micro-batch index, so a bad map in a batch of
+/// hand-written schemes is locatable without bisecting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CustomMapError {
     /// A path references a device rank ≥ `devices`.
-    DeviceOutOfRange,
-    /// `mb_group` length does not match the micro-batch count, or an entry
-    /// references a missing group.
-    BadGroupAssignment,
+    DeviceOutOfRange {
+        /// Offending group index.
+        group: usize,
+        /// Stage position within the group's path.
+        stage: usize,
+        /// The out-of-range rank.
+        device: u32,
+        /// Number of devices the map declares.
+        devices: u32,
+    },
+    /// `mb_group` length does not match the micro-batch count.
+    WrongGroupCount {
+        /// `mb_group.len()`.
+        got: usize,
+        /// `cfg.micro_batches`.
+        expected: usize,
+    },
+    /// A micro-batch's `mb_group` entry references a missing group.
+    GroupOutOfRange {
+        /// Offending micro-batch index.
+        mb: usize,
+        /// The out-of-range group it names.
+        group: usize,
+        /// Number of groups the map declares.
+        groups: usize,
+    },
     /// A group's path length differs from `stages`.
-    BadPathLength,
+    BadPathLength {
+        /// Offending group index.
+        group: usize,
+        /// Its path length.
+        got: usize,
+        /// The map's declared stage count.
+        expected: u32,
+    },
     /// The map declares no groups.
     NoGroups,
 }
@@ -52,9 +83,19 @@ pub enum CustomMapError {
 impl fmt::Display for CustomMapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CustomMapError::DeviceOutOfRange => write!(f, "path references an unknown device"),
-            CustomMapError::BadGroupAssignment => write!(f, "bad micro-batch group assignment"),
-            CustomMapError::BadPathLength => write!(f, "group path length != stage count"),
+            CustomMapError::DeviceOutOfRange { group, stage, device, devices } => write!(
+                f,
+                "group {group} stage {stage} references device {device}, only {devices} devices"
+            ),
+            CustomMapError::WrongGroupCount { got, expected } => {
+                write!(f, "mb_group has {got} entries for {expected} micro-batches")
+            }
+            CustomMapError::GroupOutOfRange { mb, group, groups } => {
+                write!(f, "micro-batch {mb} assigned to group {group}, only {groups} groups")
+            }
+            CustomMapError::BadPathLength { group, got, expected } => {
+                write!(f, "group {group} path has {got} stages, map declares {expected}")
+            }
             CustomMapError::NoGroups => write!(f, "stage map has no groups"),
         }
     }
@@ -67,18 +108,31 @@ pub fn check_map(cfg: &PipelineConfig, map: &StageMap) -> Result<(), CustomMapEr
     if map.groups.is_empty() {
         return Err(CustomMapError::NoGroups);
     }
-    for group in &map.groups {
+    for (g, group) in map.groups.iter().enumerate() {
         if group.path.len() != map.stages as usize {
-            return Err(CustomMapError::BadPathLength);
+            return Err(CustomMapError::BadPathLength {
+                group: g,
+                got: group.path.len(),
+                expected: map.stages,
+            });
         }
-        if group.path.iter().any(|d| d.0 >= map.devices) {
-            return Err(CustomMapError::DeviceOutOfRange);
+        if let Some((s, d)) = group.path.iter().enumerate().find(|(_, d)| d.0 >= map.devices) {
+            return Err(CustomMapError::DeviceOutOfRange {
+                group: g,
+                stage: s,
+                device: d.0,
+                devices: map.devices,
+            });
         }
     }
-    if map.mb_group.len() != cfg.micro_batches as usize
-        || map.mb_group.iter().any(|&g| g >= map.groups.len())
-    {
-        return Err(CustomMapError::BadGroupAssignment);
+    if map.mb_group.len() != cfg.micro_batches as usize {
+        return Err(CustomMapError::WrongGroupCount {
+            got: map.mb_group.len(),
+            expected: cfg.micro_batches as usize,
+        });
+    }
+    if let Some((m, &g)) = map.mb_group.iter().enumerate().find(|(_, &g)| g >= map.groups.len()) {
+        return Err(CustomMapError::GroupOutOfRange { mb: m, group: g, groups: map.groups.len() });
     }
     Ok(())
 }
@@ -91,7 +145,7 @@ pub fn build_custom_schedule(
     map: StageMap,
     params: ListParams,
 ) -> Result<Schedule, ScheduleError> {
-    check_map(cfg, &map).map_err(|_| ScheduleError::Config(crate::config::ConfigError::Empty))?;
+    check_map(cfg, &map)?;
     let cs = list_schedule(cfg, map, params)?;
     Ok(comm::lower(&cs))
 }
@@ -153,22 +207,67 @@ mod tests {
     #[test]
     fn rejects_out_of_range_device() {
         let m = map(2, vec![0, 5], 2);
-        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::DeviceOutOfRange));
+        assert_eq!(
+            check_map(&cfg(2, 2), &m),
+            Err(CustomMapError::DeviceOutOfRange { group: 0, stage: 1, device: 5, devices: 2 })
+        );
     }
 
     #[test]
     fn rejects_bad_group_assignment() {
         let mut m = map(2, vec![0, 1], 2);
         m.mb_group = vec![0, 7];
-        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadGroupAssignment));
+        assert_eq!(
+            check_map(&cfg(2, 2), &m),
+            Err(CustomMapError::GroupOutOfRange { mb: 1, group: 7, groups: 1 })
+        );
         m.mb_group = vec![0];
-        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadGroupAssignment));
+        assert_eq!(
+            check_map(&cfg(2, 2), &m),
+            Err(CustomMapError::WrongGroupCount { got: 1, expected: 2 })
+        );
     }
 
     #[test]
     fn rejects_path_length_mismatch() {
         let mut m = map(2, vec![0, 1], 2);
         m.stages = 3;
-        assert_eq!(check_map(&cfg(2, 2), &m), Err(CustomMapError::BadPathLength));
+        assert_eq!(
+            check_map(&cfg(2, 2), &m),
+            Err(CustomMapError::BadPathLength { group: 0, got: 2, expected: 3 })
+        );
+    }
+
+    #[test]
+    fn errors_name_the_offending_index() {
+        // The error *message* carries the index, not just the shape — a bad
+        // map in a batch of hand-written schemes is locatable directly.
+        let m = map(2, vec![0, 5], 2);
+        let msg = check_map(&cfg(2, 2), &m).unwrap_err().to_string();
+        assert!(
+            msg.contains("group 0") && msg.contains("stage 1") && msg.contains("device 5"),
+            "{msg}"
+        );
+
+        let mut m = map(2, vec![0, 1], 3);
+        m.mb_group = vec![0, 0, 4];
+        let msg = check_map(&cfg(2, 3), &m).unwrap_err().to_string();
+        assert!(msg.contains("micro-batch 2") && msg.contains("group 4"), "{msg}");
+    }
+
+    #[test]
+    fn build_custom_schedule_propagates_the_typed_map_error() {
+        // Previously lossy-mapped to ConfigError::Empty; now the index
+        // survives to the ScheduleError layer.
+        let m = map(2, vec![0, 5], 2);
+        assert_eq!(
+            build_custom_schedule(&cfg(2, 2), m, ListParams::default()).unwrap_err(),
+            ScheduleError::CustomMap(CustomMapError::DeviceOutOfRange {
+                group: 0,
+                stage: 1,
+                device: 5,
+                devices: 2
+            })
+        );
     }
 }

@@ -8,16 +8,23 @@
 
 use crate::chain::{ComputeOp, ComputeSchedule};
 use crate::config::PipelineConfig;
+use crate::schedule::ScheduleError;
 use crate::stage_map::StageMap;
 
-/// Generate DAPPLE's per-device compute order.
-pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
+/// Generate DAPPLE's per-device compute order. Degenerate shapes are
+/// rejected with the named [`ConfigError`](crate::config::ConfigError)
+/// reason; the warm-up depth uses checked arithmetic so no `(P, B, d)`
+/// combination (P=1, B<P, deep devices) can underflow.
+pub fn generate(cfg: &PipelineConfig) -> Result<ComputeSchedule, ScheduleError> {
+    cfg.validate()?;
     let map = StageMap::for_config(cfg);
     let p = cfg.devices;
     let b = cfg.micro_batches;
     let mut per_device: Vec<Vec<ComputeOp>> = Vec::with_capacity(p as usize);
     for d in 0..p {
-        let warmup = (p - 1 - d).min(b);
+        // Device d warms up min(B, P-1-d) forwards; clamp to zero rather
+        // than underflow when the pipe is shallower than the device index.
+        let warmup = p.saturating_sub(1 + d).min(b);
         let steady = b - warmup;
         let mut ops = Vec::with_capacity(2 * b as usize);
         for m in 0..warmup {
@@ -32,7 +39,7 @@ pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
         }
         per_device.push(ops);
     }
-    ComputeSchedule { config: *cfg, stage_map: map, per_device }
+    Ok(ComputeSchedule { config: *cfg, stage_map: map, per_device })
 }
 
 #[cfg(test)]
@@ -41,7 +48,7 @@ mod tests {
     use crate::config::Scheme;
 
     fn gen(p: u32, b: u32) -> ComputeSchedule {
-        generate(&PipelineConfig::new(p, b, Scheme::Dapple).unwrap())
+        generate(&PipelineConfig::new(p, b, Scheme::Dapple).unwrap()).unwrap()
     }
 
     #[test]
@@ -94,5 +101,21 @@ mod tests {
     fn small_b_degenerates_gracefully() {
         let cs = gen(8, 2);
         assert_eq!(cs.total_ops(), cs.expected_ops());
+    }
+
+    #[test]
+    fn degenerate_shapes_complete_or_reject_by_name() {
+        // P=1 and B<P must produce complete schedules, not underflow.
+        for (p, b) in [(1u32, 1u32), (1, 4), (2, 1), (8, 1), (16, 3)] {
+            let cs = gen(p, b);
+            assert_eq!(cs.total_ops(), cs.expected_ops(), "P={p} B={b}");
+        }
+        // Zero shapes reject with the named reason instead of emitting an
+        // empty "complete" schedule.
+        let cfg = PipelineConfig { devices: 4, micro_batches: 0, scheme: Scheme::Dapple };
+        assert_eq!(
+            generate(&cfg).unwrap_err(),
+            ScheduleError::Config(crate::config::ConfigError::Empty)
+        );
     }
 }

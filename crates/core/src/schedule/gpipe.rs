@@ -7,10 +7,15 @@
 
 use crate::chain::{ComputeOp, ComputeSchedule};
 use crate::config::PipelineConfig;
+use crate::schedule::ScheduleError;
 use crate::stage_map::StageMap;
 
-/// Generate GPipe's per-device compute order.
-pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
+/// Generate GPipe's per-device compute order. Degenerate shapes
+/// (`P == 0`, `B == 0`, stage overflow) are rejected with the named
+/// [`ConfigError`](crate::config::ConfigError) reason rather than
+/// producing a nonsense schedule.
+pub fn generate(cfg: &PipelineConfig) -> Result<ComputeSchedule, ScheduleError> {
+    cfg.validate()?;
     let map = StageMap::for_config(cfg);
     let b = cfg.micro_batches;
     let mut per_device: Vec<Vec<ComputeOp>> =
@@ -25,7 +30,7 @@ pub fn generate(cfg: &PipelineConfig) -> ComputeSchedule {
             per_device[d as usize].push(ComputeOp::bwd(m, d));
         }
     }
-    ComputeSchedule { config: *cfg, stage_map: map, per_device }
+    Ok(ComputeSchedule { config: *cfg, stage_map: map, per_device })
 }
 
 #[cfg(test)]
@@ -36,7 +41,7 @@ mod tests {
     #[test]
     fn forwards_strictly_before_backwards() {
         let cfg = PipelineConfig::new(4, 6, Scheme::GPipe).unwrap();
-        let cs = generate(&cfg);
+        let cs = generate(&cfg).unwrap();
         for ops in &cs.per_device {
             let first_bwd = ops.iter().position(|o| o.backward).unwrap();
             assert!(ops[..first_bwd].iter().all(|o| !o.backward));
@@ -47,10 +52,21 @@ mod tests {
     #[test]
     fn op_counts() {
         let cfg = PipelineConfig::new(3, 5, Scheme::GPipe).unwrap();
-        let cs = generate(&cfg);
+        let cs = generate(&cfg).unwrap();
         assert_eq!(cs.total_ops(), cs.expected_ops());
         for ops in &cs.per_device {
             assert_eq!(ops.len(), 10);
         }
+    }
+
+    #[test]
+    fn unvalidated_config_is_rejected_with_named_reason() {
+        // Direct struct construction bypasses `PipelineConfig::new`; the
+        // generator itself must reject, not emit an empty schedule.
+        let cfg = PipelineConfig { devices: 0, micro_batches: 4, scheme: Scheme::GPipe };
+        assert_eq!(
+            generate(&cfg).unwrap_err(),
+            ScheduleError::Config(crate::config::ConfigError::Empty)
+        );
     }
 }

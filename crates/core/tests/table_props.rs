@@ -1,0 +1,248 @@
+//! Property tests for the tabular schedule IR: random legal tables are
+//! accepted by the standalone checker, random corruptions (swap, drop,
+//! duplicate) are rejected with the right typed error, and the
+//! `ComputeSchedule ⇄ ScheduleTable` round-trip is bit-exact over random
+//! `(scheme, P, B)` shapes.
+
+use hanayo_core::chain::ComputeOp;
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::schedule::build_compute_schedule;
+use hanayo_core::schedule::search::{apply_move, sample_legal_moves};
+use hanayo_core::schedule::table::{check_table, ScheduleTable, Slot, TableError};
+use proptest::prelude::*;
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::GPipe),
+        Just(Scheme::Dapple),
+        Just(Scheme::AsyncPipeDream),
+        (1u32..=4).prop_map(|w| Scheme::Hanayo { waves: w }),
+        (2u32..=4).prop_map(|v| Scheme::Interleaved { chunks: v }),
+        Just(Scheme::Chimera),
+    ]
+}
+
+/// Make a shape valid for the drawn scheme (Chimera needs even splits).
+fn legalise(p: u32, b: u32, scheme: Scheme) -> (u32, u32) {
+    if matches!(scheme, Scheme::Chimera) {
+        ((p + p % 2).max(2), (b + b % 2).max(2))
+    } else {
+        (p, b)
+    }
+}
+
+fn table_for(p: u32, b: u32, scheme: Scheme) -> ScheduleTable {
+    let cfg = PipelineConfig::new(p, b, scheme).unwrap();
+    ScheduleTable::from_compute(&build_compute_schedule(&cfg).unwrap())
+}
+
+/// The op at a slot, as `(mb, pos)` — the chain key the checker uses.
+fn op_of(slot: Slot, stages: u32) -> Option<(u32, u32)> {
+    slot.compute_op().map(|op: ComputeOp| (op.mb.0, op.pos(stages)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_tables_are_always_accepted(
+        p in 2u32..=6,
+        b in 2u32..=10,
+        scheme in any_scheme(),
+    ) {
+        let (p, b) = legalise(p, b, scheme);
+        let table = table_for(p, b, scheme);
+        prop_assert!(check_table(&table).is_ok(), "{} P={} B={}", scheme, p, b);
+    }
+
+    #[test]
+    fn random_legal_tables_are_accepted(
+        p in 2u32..=5,
+        b in 2u32..=8,
+        scheme in any_scheme(),
+        seed in 0u64..u64::MAX,
+        steps in 1usize..=24,
+    ) {
+        // Walk away from the generated point with random *gated* moves:
+        // every intermediate table the walk keeps passed the checker, so
+        // the endpoint is an arbitrary legal table no generator emits.
+        let (p, b) = legalise(p, b, scheme);
+        let mut table = table_for(p, b, scheme);
+        let occupied = table.occupied();
+        for mv in sample_legal_moves(&table, seed, steps) {
+            let mut candidate = table.clone();
+            if apply_move(&mut candidate, mv) && check_table(&candidate).is_ok() {
+                table = candidate;
+            }
+        }
+        prop_assert!(check_table(&table).is_ok(), "walked table must stay legal");
+        // Moves rearrange work; they never create or destroy it.
+        prop_assert_eq!(table.occupied(), occupied);
+        // And the walked table still strips to a complete compute order.
+        let cs = table.to_compute();
+        let total: usize = cs.per_device.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, occupied);
+    }
+
+    #[test]
+    fn swapping_a_chain_pair_is_rejected(
+        p in 2u32..=5,
+        b in 2u32..=8,
+        scheme in any_scheme(),
+        dev_pick in 0u64..u64::MAX,
+    ) {
+        // Swap a forward with the backward of the same micro-batch on one
+        // device: the chain runs forward-then-backward, so the result
+        // must be a dependency violation (columns are unchanged, only the
+        // occupants swap).
+        let (p, b) = legalise(p, b, scheme);
+        let mut table = table_for(p, b, scheme);
+        let d = (dev_pick % table.rows.len() as u64) as usize;
+        let row = &mut table.rows[d];
+        let Some(mb) = row.iter().find_map(|s| match s {
+            Slot::Fwd { mb, .. } => Some(*mb),
+            _ => None,
+        }) else {
+            return Ok(());
+        };
+        let fwd = row
+            .iter()
+            .position(|s| matches!(s, Slot::Fwd { mb: m, .. } if *m == mb))
+            .unwrap();
+        let Some(bwd) =
+            row.iter().position(|s| matches!(s, Slot::Bwd { mb: m, .. } if *m == mb))
+        else {
+            return Ok(());
+        };
+        row.swap(fwd, bwd);
+        prop_assert!(
+            matches!(check_table(&table), Err(TableError::DependencyViolation { .. })),
+            "expected DependencyViolation, got {:?}",
+            check_table(&table)
+        );
+    }
+
+    #[test]
+    fn dropping_any_op_is_rejected(
+        p in 2u32..=5,
+        b in 2u32..=8,
+        scheme in any_scheme(),
+        pick in 0u64..u64::MAX,
+    ) {
+        let (p, b) = legalise(p, b, scheme);
+        let mut table = table_for(p, b, scheme);
+        let d = (pick % table.rows.len() as u64) as usize;
+        let occupied: Vec<usize> = (0..table.width())
+            .filter(|&t| !table.rows[d][t].is_idle())
+            .collect();
+        prop_assert!(!occupied.is_empty(), "every device row has work");
+        let t = occupied[((pick >> 8) % occupied.len() as u64) as usize];
+        let stages = table.stage_map.stages;
+        let dropped = op_of(table.rows[d][t], stages).unwrap();
+        table.rows[d][t] = Slot::Idle;
+        match check_table(&table) {
+            Err(TableError::MissingOp(op)) => {
+                prop_assert_eq!((op.mb.0, op.pos(stages)), dropped);
+            }
+            other => prop_assert!(false, "expected MissingOp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn duplicating_any_op_is_rejected(
+        p in 2u32..=5,
+        b in 2u32..=8,
+        scheme in any_scheme(),
+        pick in 0u64..u64::MAX,
+    ) {
+        let (p, b) = legalise(p, b, scheme);
+        let mut table = table_for(p, b, scheme);
+        let d = (pick % table.rows.len() as u64) as usize;
+        let row = &table.rows[d];
+        let occupied: Vec<usize> = (0..row.len()).filter(|&t| !row[t].is_idle()).collect();
+        let idle: Vec<usize> = (0..row.len()).filter(|&t| row[t].is_idle()).collect();
+        if occupied.is_empty() || idle.is_empty() {
+            return Ok(());
+        }
+        let from = occupied[((pick >> 8) % occupied.len() as u64) as usize];
+        let to = idle[((pick >> 16) % idle.len() as u64) as usize];
+        table.rows[d][to] = table.rows[d][from];
+        // A duplicate on the same device is either caught as a duplicate
+        // or (if the copy lands first in scan order) as the now-broken
+        // chain around the second occurrence. Either way: rejected.
+        prop_assert!(
+            matches!(
+                check_table(&table),
+                Err(TableError::DuplicateOp { .. } | TableError::DependencyViolation { .. })
+            ),
+            "expected DuplicateOp or DependencyViolation, got {:?}",
+            check_table(&table)
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact(
+        p in 2u32..=6,
+        b in 2u32..=10,
+        scheme in any_scheme(),
+    ) {
+        let (p, b) = legalise(p, b, scheme);
+        let cfg = PipelineConfig::new(p, b, scheme).unwrap();
+        let cs = build_compute_schedule(&cfg).unwrap();
+        let table = ScheduleTable::from_compute(&cs);
+        prop_assert_eq!(table.to_compute(), cs);
+    }
+
+    #[test]
+    fn tables_serde_roundtrip(
+        p in 2u32..=4,
+        b in 2u32..=6,
+        scheme in any_scheme(),
+    ) {
+        let (p, b) = legalise(p, b, scheme);
+        let table = table_for(p, b, scheme);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: ScheduleTable = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    #[test]
+    fn checker_agrees_with_forward_swap_legality(
+        p in 2u32..=5,
+        b in 3u32..=8,
+        scheme in any_scheme(),
+    ) {
+        // Swapping two forwards on one device permutes its service order —
+        // legal exactly when every op still sits strictly after its chain
+        // predecessor. The checker must judge by columns alone, not by
+        // generator shape, so verify its verdict against a direct
+        // recomputation of that ground truth.
+        let (p, b) = legalise(p, b, scheme);
+        let mut table = table_for(p, b, scheme);
+        let stages = table.stage_map.stages;
+        let row = &mut table.rows[0];
+        let picks: Vec<usize> = (0..row.len())
+            .filter(|&t| matches!(row[t], Slot::Fwd { .. }))
+            .collect();
+        if picks.len() < 2 {
+            return Ok(());
+        }
+        let (a, z) = (picks[0], picks[picks.len() - 1]);
+        row.swap(a, z);
+        let verdict = check_table(&table);
+        // Recompute the ground truth: every op strictly after its chain
+        // predecessor, per column positions in the mutated table.
+        let mut columns = std::collections::HashMap::new();
+        for row in &table.rows {
+            for (t, slot) in row.iter().enumerate() {
+                if let Some(key) = op_of(*slot, stages) {
+                    columns.insert(key, t);
+                }
+            }
+        }
+        let legal = (0..b).all(|m| {
+            (1..2 * stages).all(|pos| columns[&(m, pos)] > columns[&(m, pos - 1)])
+        });
+        prop_assert_eq!(verdict.is_ok(), legal, "verdict {:?}", verdict);
+    }
+}

@@ -663,9 +663,65 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// A rejected simulation input or run — the typed form of what
+/// [`simulate`] panics on. Produced by [`try_simulate`] /
+/// [`try_simulate_traced`] so a sweep or search can turn one malformed
+/// candidate into a rejection instead of dying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The cluster's device count differs from the schedule's.
+    DeviceCountMismatch {
+        /// Devices in the schedule.
+        schedule: usize,
+        /// Devices in the cluster.
+        cluster: usize,
+    },
+    /// The cost table's stage count differs from the schedule's.
+    StageCountMismatch {
+        /// Stages in the schedule.
+        schedule: usize,
+        /// Stages in the cost table.
+        cost: usize,
+    },
+    /// A cost/link/option value failed [`validate_numerics`].
+    Numerics(NumericsError),
+    /// The run stalled before every device flushed — a malformed action
+    /// list (e.g. an unmatched send/recv pair in a hand-built schedule).
+    Deadlock {
+        /// Devices that never reached `Done`, with their program counters.
+        stalled: Vec<(usize, usize)>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeviceCountMismatch { schedule, cluster } => {
+                write!(f, "schedule has {schedule} devices, cluster has {cluster}")
+            }
+            SimError::StageCountMismatch { schedule, cost } => {
+                write!(f, "schedule has {schedule} stages, cost table has {cost}")
+            }
+            SimError::Numerics(e) => write!(f, "invalid simulation inputs: {e}"),
+            SimError::Deadlock { stalled } => {
+                write!(f, "simulation deadlocked: stalled (device, pc) pairs {stalled:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<NumericsError> for SimError {
+    fn from(e: NumericsError) -> Self {
+        SimError::Numerics(e)
+    }
+}
+
 /// Execute one iteration of `schedule` on `cluster` with per-stage costs
 /// from `cost`. The cluster must have exactly the pipeline's device count,
 /// and all costs/link characteristics must pass [`validate_numerics`].
+/// Panics on malformed inputs — use [`try_simulate`] for the typed form.
 pub fn simulate(
     schedule: &Schedule,
     cost: &CostTable,
@@ -675,27 +731,52 @@ pub fn simulate(
     simulate_traced(schedule, cost, cluster, opts).0
 }
 
+/// [`simulate`] with a typed error instead of a panic: malformed shapes,
+/// non-finite inputs and deadlocking schedules come back as a
+/// [`SimError`]. This is the entry the tuner, the sweep and the schedule
+/// search score candidates through.
+pub fn try_simulate(
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<SimReport, SimError> {
+    try_simulate_traced(schedule, cost, cluster, opts).map(|(report, _)| report)
+}
+
 /// [`simulate`], additionally lowering the run into a [`Trace`] when
 /// `opts.trace` is set (`None` otherwise). The report is bit-identical to
 /// an untraced run, and the trace's makespan equals the report's
 /// `iteration_time` exactly — the `trace_truth` suite pins both across
-/// every golden scheme.
+/// every golden scheme. Panicking wrapper over [`try_simulate_traced`].
 pub fn simulate_traced(
     schedule: &Schedule,
     cost: &CostTable,
     cluster: &ClusterSpec,
     opts: SimOptions,
 ) -> (SimReport, Option<Trace>) {
+    try_simulate_traced(schedule, cost, cluster, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The typed core of the engine: every guard that used to `panic!` /
+/// `assert!` on malformed inputs returns its [`SimError`] instead.
+pub fn try_simulate_traced(
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<(SimReport, Option<Trace>), SimError> {
     let p = schedule.lists.len();
-    assert_eq!(cluster.len(), p, "cluster size must match the pipeline");
-    assert_eq!(
-        cost.stages(),
-        schedule.stage_map.stages as usize,
-        "cost table must match the stage count"
-    );
-    if let Err(e) = validate_numerics(cost, cluster, &opts) {
-        panic!("invalid simulation inputs: {e}");
+    if cluster.len() != p {
+        return Err(SimError::DeviceCountMismatch { schedule: p, cluster: cluster.len() });
     }
+    if cost.stages() != schedule.stage_map.stages as usize {
+        return Err(SimError::StageCountMismatch {
+            schedule: schedule.stage_map.stages as usize,
+            cost: cost.stages(),
+        });
+    }
+    validate_numerics(cost, cluster, &opts)?;
 
     let (weight_mem, grad_mem) = static_device_mem(schedule, cost);
     let compiled = compile(schedule, &opts);
@@ -738,12 +819,16 @@ pub fn simulate_traced(
         let ev = eng.event_pool[idx];
         eng.handle(t, ev);
     }
-    assert!(
-        eng.state.iter().all(|s| *s == DevState::Done),
-        "simulation deadlocked: states {:?} pcs {:?}",
-        eng.state,
-        eng.pc
-    );
+    if !eng.state.iter().all(|s| *s == DevState::Done) {
+        let stalled = eng
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != DevState::Done)
+            .map(|(d, _)| (d, eng.pc[d]))
+            .collect();
+        return Err(SimError::Deadlock { stalled });
+    }
 
     let iteration_time = eng.finish.iter().cloned().fold(0.0, f64::max);
     let total_busy: f64 = eng.busy.iter().sum();
@@ -764,7 +849,7 @@ pub fn simulate_traced(
         grad_mem,
         spans: eng.spans,
     };
-    (report, trace)
+    Ok((report, trace))
 }
 
 #[cfg(test)]

@@ -32,10 +32,15 @@ pub mod engine;
 pub mod plan;
 pub mod reference;
 pub mod report;
+pub mod search;
 pub mod tuner;
 
-pub use engine::{simulate, simulate_traced, validate_numerics, NumericsError, SimOptions};
+pub use engine::{
+    simulate, simulate_traced, try_simulate, try_simulate_traced, validate_numerics, NumericsError,
+    SimError, SimOptions,
+};
 pub use plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 pub use reference::simulate_reference;
 pub use report::SimReport;
+pub use search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
 pub use tuner::{tune, tune_serial, Candidate, Rejection, TuneOptions, Tuning};

@@ -6,7 +6,7 @@
 //! re-interpreted as two data-parallel 1-wave pipelines on `P/2` devices
 //! each (Fig. 5), so that every method holds exactly one weight copy.
 
-use crate::engine::{simulate, validate_numerics, NumericsError, SimOptions};
+use crate::engine::{try_simulate, validate_numerics, NumericsError, SimError, SimOptions};
 use crate::report::SimReport;
 use hanayo_cluster::collective::ring_allreduce_time;
 use hanayo_cluster::ClusterSpec;
@@ -97,6 +97,10 @@ pub enum PlanError {
     /// corrupt the simulator's event ordering (see
     /// [`crate::engine::validate_numerics`]).
     Numerics(NumericsError),
+    /// The engine rejected the run (shape mismatch or deadlock) — the
+    /// typed form of what `simulate` panics on, surfaced by routing the
+    /// plan through [`crate::engine::try_simulate`].
+    Sim(SimError),
 }
 
 impl fmt::Display for PlanError {
@@ -108,6 +112,7 @@ impl fmt::Display for PlanError {
             PlanError::OddChimeraSplit => write!(f, "Chimera-wave needs even P and B"),
             PlanError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
             PlanError::Numerics(e) => write!(f, "invalid simulation inputs: {e}"),
+            PlanError::Sim(e) => write!(f, "simulation rejected: {e}"),
         }
     }
 }
@@ -158,7 +163,11 @@ impl PlanResult {
 
 /// Resolve a method into the pipeline actually simulated:
 /// `(scheme, pipeline width, dp multiplier, micro-batch divisor)`.
-fn resolve(method: Method, pp: u32, b: u32) -> Result<(Scheme, u32, u32, u32), PlanError> {
+pub(crate) fn resolve(
+    method: Method,
+    pp: u32,
+    b: u32,
+) -> Result<(Scheme, u32, u32, u32), PlanError> {
     match method {
         Method::GPipe => Ok((Scheme::GPipe, pp, 1, b)),
         Method::Dapple => Ok((Scheme::Dapple, pp, 1, b)),
@@ -202,7 +211,10 @@ pub fn evaluate_plan(
     for g in 0..dp_eff {
         let devices: Vec<usize> = (0..pp_eff as usize).map(|r| (g * pp_eff) as usize + r).collect();
         let sub = cluster.select(&devices);
-        let report = simulate(&schedule, &cost, &sub, opts);
+        let report = try_simulate(&schedule, &cost, &sub, opts).map_err(|e| match e {
+            SimError::Numerics(n) => PlanError::Numerics(n),
+            other => PlanError::Sim(other),
+        })?;
         pipeline_time = pipeline_time.max(report.iteration_time);
         for (r, &global) in devices.iter().enumerate() {
             peak_mem[global] = report.peak_mem[r];

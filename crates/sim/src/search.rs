@@ -1,0 +1,292 @@
+//! Schedule-space search scored by the compiled simulator.
+//!
+//! `hanayo-core`'s [`local_search`] is generic over a scoring closure;
+//! this module supplies the closure the rest of the workspace cares
+//! about: lower the candidate table to an executable [`Schedule`] and run
+//! the compiled fast path via [`try_simulate`], so one illegal candidate
+//! becomes a skipped move, never a panic. [`search_schedule`] is the
+//! full pipeline: simulate the seven named schemes at `(P, B)`, greedily
+//! seed the table from the best of them, hill-climb, and report the
+//! searched schedule beside its baselines.
+
+use crate::engine::{try_simulate, SimError, SimOptions};
+use hanayo_cluster::ClusterSpec;
+use hanayo_core::chain::ComputeSchedule;
+use hanayo_core::comm;
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::schedule::search::{local_search, SearchError, SearchOptions, SearchStats};
+use hanayo_core::schedule::table::{check_table, ScheduleTable};
+use hanayo_core::schedule::{build_compute_schedule, ScheduleError};
+use hanayo_model::{CostTable, ModelConfig, Recompute};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Knobs of a simulator-scored schedule search; a thin, serializable
+/// wrapper over the core [`SearchOptions`] (no stash cap — memory verdicts
+/// come from the simulator itself).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSearchOptions {
+    /// RNG seed; results are a pure function of it.
+    pub seed: u64,
+    /// Maximum improvement rounds.
+    pub max_rounds: usize,
+    /// Candidate moves sampled per round.
+    pub moves_per_round: usize,
+    /// Stop after this many consecutive rounds without improvement.
+    pub patience: usize,
+}
+
+impl Default for ScheduleSearchOptions {
+    fn default() -> Self {
+        let core = SearchOptions::default();
+        ScheduleSearchOptions {
+            seed: core.seed,
+            max_rounds: core.max_rounds,
+            moves_per_round: core.moves_per_round,
+            patience: core.patience,
+        }
+    }
+}
+
+impl ScheduleSearchOptions {
+    fn to_core(self) -> SearchOptions {
+        SearchOptions {
+            seed: self.seed,
+            max_rounds: self.max_rounds,
+            moves_per_round: self.moves_per_round,
+            patience: self.patience,
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// One named scheme's simulated result at the searched `(P, B)` shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Its figure label (`G`, `D`, `H-2`, ...).
+    pub label: String,
+    /// Simulated end-to-end iteration time in seconds.
+    pub iteration_time_s: f64,
+}
+
+/// The outcome of a schedule search: the winning table plus the named
+/// baselines it was measured against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchedSchedule {
+    /// Pipeline width.
+    pub devices: u32,
+    /// Micro-batches per iteration.
+    pub micro_batches: u32,
+    /// Sequences per micro-batch (cost-table input).
+    pub micro_batch_size: u32,
+    /// Activation recomputation mode of the cost model.
+    pub recompute: Recompute,
+    /// Every named scheme that was feasible at this shape, simulated.
+    pub baselines: Vec<BaselineRow>,
+    /// The scheme the search was seeded from (the best baseline).
+    pub seed_scheme: Scheme,
+    /// The best named iteration time (the bar to beat).
+    pub baseline_iteration_time_s: f64,
+    /// The searched schedule's iteration time.
+    pub iteration_time_s: f64,
+    /// `(baseline - searched) / baseline`, in percent.
+    pub improvement_pct: f64,
+    /// Search effort actually spent.
+    pub stats: SearchStats,
+    /// The winning table (passes the validity checker by construction).
+    pub table: ScheduleTable,
+}
+
+/// Why a schedule search could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleSearchError {
+    /// No named scheme was feasible (generated + simulated) at `(P, B)`.
+    NoFeasibleScheme {
+        /// Requested pipeline width.
+        devices: u32,
+        /// Requested micro-batch count.
+        micro_batches: u32,
+    },
+    /// Seeding failed in the core search layer.
+    Seed(SearchError),
+    /// The winning baseline failed to re-generate (a bug guard).
+    Schedule(ScheduleError),
+    /// The final table failed to re-simulate (a bug guard).
+    Sim(SimError),
+}
+
+impl fmt::Display for ScheduleSearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleSearchError::NoFeasibleScheme { devices, micro_batches } => {
+                write!(f, "no named scheme is feasible at P={devices} B={micro_batches}")
+            }
+            ScheduleSearchError::Seed(e) => write!(f, "search seeding failed: {e}"),
+            ScheduleSearchError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
+            ScheduleSearchError::Sim(e) => write!(f, "simulation rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleSearchError {}
+
+/// The seven named schemes, in deterministic tie-break order.
+pub fn named_schemes() -> [Scheme; 7] {
+    [
+        Scheme::Hanayo { waves: 2 },
+        Scheme::Hanayo { waves: 1 },
+        Scheme::Chimera,
+        Scheme::Dapple,
+        Scheme::Interleaved { chunks: 2 },
+        Scheme::GPipe,
+        Scheme::AsyncPipeDream,
+    ]
+}
+
+fn simulate_order(
+    cs: &ComputeSchedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<f64, SimError> {
+    let schedule = comm::lower(cs);
+    try_simulate(&schedule, cost, cluster, opts).map(|r| r.iteration_time)
+}
+
+/// Search the schedule space at `(P, B)` on `cluster` (which must have
+/// exactly `P` devices): simulate every feasible named scheme, seed a
+/// [`ScheduleTable`] from the best one, and hill-climb with the compiled
+/// simulator as the cost model. Deterministic in `(inputs, opts.seed)`.
+#[allow(clippy::too_many_arguments)] // the full (model, cluster, shape, cost, sim, search) input
+pub fn search_schedule(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    devices: u32,
+    micro_batches: u32,
+    micro_batch_size: u32,
+    recompute: Recompute,
+    sim: SimOptions,
+    opts: &ScheduleSearchOptions,
+) -> Result<SearchedSchedule, ScheduleSearchError> {
+    // Baselines: every named scheme that generates and simulates at this
+    // shape. Cost tables are per-scheme (stage counts differ).
+    let mut baselines = Vec::new();
+    let mut best: Option<(Scheme, ComputeSchedule, CostTable, f64)> = None;
+    for scheme in named_schemes() {
+        let Ok(cfg) = PipelineConfig::new(devices, micro_batches, scheme) else { continue };
+        let Ok(cs) = build_compute_schedule(&cfg) else { continue };
+        let cost = CostTable::build_with(model, cfg.stages(), micro_batch_size, recompute);
+        let Ok(time) = simulate_order(&cs, &cost, cluster, sim) else { continue };
+        baselines.push(BaselineRow { scheme, label: scheme.label(), iteration_time_s: time });
+        // Strict < keeps the earlier scheme on ties: deterministic.
+        if best.as_ref().is_none_or(|(_, _, _, t)| time < *t) {
+            best = Some((scheme, cs, cost, time));
+        }
+    }
+    let Some((seed_scheme, seed_cs, cost, baseline_time)) = best else {
+        return Err(ScheduleSearchError::NoFeasibleScheme { devices, micro_batches });
+    };
+    baselines.sort_by(|a, b| a.iteration_time_s.total_cmp(&b.iteration_time_s));
+
+    let seed_table = ScheduleTable::from_compute(&seed_cs);
+    let (table, stats) = local_search(&seed_table, &opts.to_core(), |t| {
+        simulate_order(&t.to_compute(), &cost, cluster, sim).ok()
+    })
+    .map_err(ScheduleSearchError::Seed)?;
+
+    debug_assert!(check_table(&table).is_ok());
+    let iteration_time_s = stats.final_score;
+    Ok(SearchedSchedule {
+        devices,
+        micro_batches,
+        micro_batch_size,
+        recompute,
+        baselines,
+        seed_scheme,
+        baseline_iteration_time_s: baseline_time,
+        iteration_time_s,
+        improvement_pct: 100.0 * (baseline_time - iteration_time_s) / baseline_time,
+        stats,
+        table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hanayo_cluster::topology::{fc_full_nvlink, pc_partial_nvlink};
+
+    fn opts_small() -> ScheduleSearchOptions {
+        ScheduleSearchOptions { max_rounds: 8, moves_per_round: 12, ..Default::default() }
+    }
+
+    #[test]
+    fn search_reports_consistent_fields() {
+        let cluster = fc_full_nvlink(4);
+        let model = ModelConfig::bert64();
+        let r = search_schedule(
+            &model,
+            &cluster,
+            4,
+            4,
+            1,
+            Recompute::None,
+            SimOptions::default(),
+            &opts_small(),
+        )
+        .unwrap();
+        assert!(!r.baselines.is_empty());
+        assert!(r.iteration_time_s <= r.baseline_iteration_time_s);
+        assert!(r.baselines.iter().any(|b| b.scheme == r.seed_scheme));
+        check_table(&r.table).unwrap();
+        // The reported time re-simulates exactly.
+        let again = simulate_order(
+            &r.table.to_compute(),
+            &CostTable::build_with(&model, r.table.config.stages(), 1, Recompute::None),
+            &cluster,
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(again, r.iteration_time_s);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let cluster = pc_partial_nvlink(4);
+        let model = ModelConfig::bert64();
+        let run = || {
+            search_schedule(
+                &model,
+                &cluster,
+                4,
+                6,
+                1,
+                Recompute::None,
+                SimOptions::default(),
+                &opts_small(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn infeasible_shape_is_a_typed_error() {
+        // Cluster width ≠ P: every baseline fails to simulate.
+        let cluster = fc_full_nvlink(4);
+        let err = search_schedule(
+            &ModelConfig::bert64(),
+            &cluster,
+            8,
+            8,
+            1,
+            Recompute::None,
+            SimOptions::default(),
+            &opts_small(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleSearchError::NoFeasibleScheme { devices: 8, micro_batches: 8 });
+    }
+}

@@ -34,6 +34,7 @@
 
 use crate::engine::SimOptions;
 use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
+use crate::search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
 use hanayo_ckpt::recovery;
 use hanayo_ckpt::{RecoveryEval, RecoveryOptions};
 use hanayo_cluster::ClusterSpec;
@@ -118,6 +119,11 @@ pub struct Tuning {
     pub ranked: Vec<Candidate>,
     /// Every infeasible candidate with the reason it was rejected.
     pub rejected: Vec<Rejection>,
+    /// When [`TuneOptions::schedule_search`] is set: the schedule-space
+    /// search result seeded from the winning plan's pipeline shape — a
+    /// searched candidate standing beside the named schemes. `None` when
+    /// the axis is off, nothing ranked, or the search itself failed.
+    pub searched: Option<SearchedSchedule>,
 }
 
 impl Tuning {
@@ -178,6 +184,11 @@ pub struct TuneOptions {
     /// Recovery-model knobs (restart latency, MTBF override) used by the
     /// checkpoint-interval axis.
     pub recovery: RecoveryOptions,
+    /// When set, run the tabular schedule-space search seeded from the
+    /// winning plan's pipeline shape and attach the result as
+    /// [`Tuning::searched`]. Deterministic (seeded), so [`tune`] and
+    /// [`tune_serial`] stay byte-identical.
+    pub schedule_search: Option<ScheduleSearchOptions>,
 }
 
 impl Default for TuneOptions {
@@ -193,6 +204,7 @@ impl Default for TuneOptions {
             recompute_modes: vec![Recompute::None],
             checkpoint_intervals: Vec::new(),
             recovery: RecoveryOptions::default(),
+            schedule_search: None,
         }
     }
 }
@@ -470,7 +482,42 @@ fn assemble(
                 interval(a).cmp(&interval(b))
             })
     });
-    Tuning { ranked, rejected }
+    Tuning { ranked, rejected, searched: None }
+}
+
+/// Run the schedule-space search seeded from the winning plan's pipeline
+/// shape and attach it to the tuning. Shared verbatim by [`tune`] and
+/// [`tune_serial`]; the search is a pure function of its seed, so the two
+/// paths stay byte-identical.
+fn attach_schedule_search(
+    mut tuning: Tuning,
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+) -> Tuning {
+    let Some(search_opts) = opts.schedule_search else { return tuning };
+    let Some(best) = tuning.best() else { return tuning };
+    let Ok((_, pp_eff, _, b_eff)) =
+        crate::plan::resolve(best.plan.method, best.plan.pp, best.plan.micro_batches)
+    else {
+        return tuning;
+    };
+    // The search runs at the winner's effective pipeline shape, on its
+    // first group's device slice.
+    let devices: Vec<usize> = (0..pp_eff as usize).collect();
+    let sub = cluster.select(&devices);
+    tuning.searched = search_schedule(
+        model,
+        &sub,
+        pp_eff,
+        b_eff,
+        best.plan.micro_batch_size,
+        best.plan.recompute,
+        best.sim,
+        &search_opts,
+    )
+    .ok();
+    tuning
 }
 
 fn evaluate_candidate(
@@ -502,7 +549,7 @@ pub fn tune(
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let evaluated: Vec<_> =
         space.par_iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
-    assemble(evaluated, cluster, opts)
+    attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
 
 /// The serial reference for [`tune`]: identical candidate space, identical
@@ -518,7 +565,7 @@ pub fn tune_serial(
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let evaluated: Vec<_> =
         space.iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
-    assemble(evaluated, cluster, opts)
+    attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
 
 #[cfg(test)]
@@ -700,6 +747,28 @@ mod tests {
             "sweep optimum {} vs Young–Daly {star_k}",
             r.interval_iterations
         );
+    }
+
+    #[test]
+    fn schedule_search_axis_attaches_a_searched_candidate() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = fc_full_nvlink(8);
+        let search =
+            ScheduleSearchOptions { max_rounds: 6, moves_per_round: 8, ..Default::default() };
+        let with = TuneOptions { schedule_search: Some(search), ..opts() };
+        let par = tune(&model, &cluster, 8, 1, &with);
+        let searched = par.searched.as_ref().expect("axis on + feasible best ⇒ searched");
+        // Never worse than its own best named baseline, and internally
+        // consistent with the winning plan's shape.
+        assert!(searched.iteration_time_s <= searched.baseline_iteration_time_s);
+        assert!(!searched.baselines.is_empty());
+        // Byte-identical across the parallel and serial paths.
+        let ser = tune_serial(&model, &cluster, 8, 1, &with);
+        assert_eq!(par, ser);
+        // Axis off ⇒ no searched candidate, ranking unchanged.
+        let without = tune(&model, &cluster, 8, 1, &opts());
+        assert!(without.searched.is_none());
+        assert_eq!(without.ranked, par.ranked);
     }
 
     #[test]
