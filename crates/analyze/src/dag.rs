@@ -1,0 +1,347 @@
+//! The explicit happens-before DAG of a lowered [`Schedule`].
+//!
+//! Every action is split into an *enter* and an *exit* node, because the
+//! engine's blocking semantics are asymmetric within one action: a
+//! [`Action::BatchedComm`] posts its member sends the moment the device
+//! reaches it (enter) but completes only when every member receive has
+//! arrived (exit). Modelling the batch as a single node would manufacture
+//! cycles for exactly the §4.2 cross-communication pattern the batching
+//! exists to make safe.
+//!
+//! Edges:
+//!
+//! * **span** `enter(a) → exit(a)` — the action's own duration;
+//! * **program order** `exit(d, i) → enter(d, i+1)` — devices execute
+//!   their lists serially;
+//! * **message** `enter(send) → exit(recv)` — a rendezvous transfer can
+//!   start once the send is posted, and the receiver cannot pass its
+//!   blocking point before the message arrives.
+//!
+//! A cycle in this graph is precisely a schedule the simulator reports as
+//! [`SimError::Deadlock`]: sends never block, so the only wait chains run
+//! through receive exits, and those are exactly the message edges.
+//! Per-link FIFO serialisation is a *resource* constraint (transfers
+//! queue, but the queue always drains), so it can delay a schedule but
+//! never deadlock it — it is checked separately by
+//! [`HappensBefore::check_fifo`] as a well-formedness property.
+//!
+//! [`SimError::Deadlock`]: https://docs.rs/hanayo-sim
+
+use crate::error::{AnalysisError, CycleNode};
+use hanayo_core::action::{Action, CommDir, MsgTag, Schedule};
+use hanayo_core::ids::DeviceId;
+use std::collections::HashMap;
+
+/// Why an edge exists — enough to weight it later without storing floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Program order between consecutive actions of one device.
+    Seq,
+    /// Enter → exit of a single action (carries compute duration).
+    Span,
+    /// A matched point-to-point message from `src` to `dst`.
+    Msg {
+        /// Sending device.
+        src: u32,
+        /// Receiving device.
+        dst: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Edge {
+    pub(crate) to: u32,
+    pub(crate) kind: EdgeKind,
+}
+
+/// One matched message, with both program coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending device.
+    pub src: DeviceId,
+    /// Receiving device.
+    pub dst: DeviceId,
+    /// Message identity.
+    pub tag: MsgTag,
+    /// Index of the action posting the send in `src`'s list.
+    pub send_index: usize,
+    /// Index of the action blocking on the receive in `dst`'s list.
+    pub recv_index: usize,
+}
+
+/// The happens-before DAG of one lowered schedule.
+pub struct HappensBefore<'a> {
+    schedule: &'a Schedule,
+    /// First global action index of each device, plus the total as a cap.
+    offsets: Vec<usize>,
+    succs: Vec<Vec<Edge>>,
+    edge_count: usize,
+    messages: Vec<Message>,
+    batched_comms: usize,
+}
+
+impl<'a> HappensBefore<'a> {
+    /// Build the DAG, matching every send to its receive. Returns the
+    /// first communication defect (unmatched/duplicated message, wrong
+    /// peer) in deterministic device/action order.
+    pub fn build(schedule: &'a Schedule) -> Result<HappensBefore<'a>, AnalysisError> {
+        let mut offsets = Vec::with_capacity(schedule.lists.len() + 1);
+        let mut total = 0usize;
+        for list in &schedule.lists {
+            offsets.push(total);
+            total += list.actions.len();
+        }
+        offsets.push(total);
+
+        let mut dag = HappensBefore {
+            schedule,
+            offsets,
+            succs: vec![Vec::new(); 2 * total],
+            edge_count: 0,
+            messages: Vec::new(),
+            batched_comms: 0,
+        };
+
+        // Structural edges: span + program order.
+        for (d, list) in schedule.lists.iter().enumerate() {
+            for i in 0..list.actions.len() {
+                let g = dag.offsets[d] + i;
+                dag.push_edge(2 * g as u32, (2 * g + 1) as u32, EdgeKind::Span);
+                if i + 1 < list.actions.len() {
+                    dag.push_edge((2 * g + 1) as u32, (2 * (g + 1)) as u32, EdgeKind::Seq);
+                }
+            }
+            dag.batched_comms +=
+                list.actions.iter().filter(|a| matches!(a, Action::BatchedComm(_))).count();
+        }
+
+        // Receive index: (receiving device, tag) → (action index, declared
+        // peer, matched?). Duplicates are defects.
+        let mut recvs: HashMap<(u32, MsgTag), (usize, DeviceId, bool)> = HashMap::new();
+        for (d, list) in schedule.lists.iter().enumerate() {
+            let device = DeviceId(d as u32);
+            for (i, action) in list.actions.iter().enumerate() {
+                for op in action.comm_ops() {
+                    if op.dir != CommDir::Recv {
+                        continue;
+                    }
+                    if recvs.insert((d as u32, op.tag), (i, op.peer, false)).is_some() {
+                        return Err(AnalysisError::DuplicateMessage {
+                            device,
+                            index: i,
+                            tag: op.tag,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Match sends against the receive index and add message edges.
+        for (d, list) in schedule.lists.iter().enumerate() {
+            let device = DeviceId(d as u32);
+            for (i, action) in list.actions.iter().enumerate() {
+                for op in action.comm_ops() {
+                    if op.dir != CommDir::Send {
+                        continue;
+                    }
+                    let Some(entry) = recvs.get_mut(&(op.peer.0, op.tag)) else {
+                        return Err(AnalysisError::UnmatchedSend { device, index: i, tag: op.tag });
+                    };
+                    let (recv_index, declared, matched) = *entry;
+                    if matched {
+                        return Err(AnalysisError::DuplicateMessage {
+                            device,
+                            index: i,
+                            tag: op.tag,
+                        });
+                    }
+                    if declared != device {
+                        return Err(AnalysisError::PeerMismatch {
+                            device: op.peer,
+                            index: recv_index,
+                            tag: op.tag,
+                            declared,
+                            actual: device,
+                        });
+                    }
+                    entry.2 = true;
+                    let from = 2 * (dag.offsets[d] + i) as u32;
+                    let to = (2 * (dag.offsets[op.peer.0 as usize] + recv_index) + 1) as u32;
+                    dag.push_edge(from, to, EdgeKind::Msg { src: d as u32, dst: op.peer.0 });
+                    dag.messages.push(Message {
+                        src: device,
+                        dst: op.peer,
+                        tag: op.tag,
+                        send_index: i,
+                        recv_index,
+                    });
+                }
+            }
+        }
+
+        // Any receive left unmatched, reported in program order.
+        for (d, list) in schedule.lists.iter().enumerate() {
+            for (i, action) in list.actions.iter().enumerate() {
+                for op in action.comm_ops() {
+                    if op.dir == CommDir::Recv && !recvs[&(d as u32, op.tag)].2 {
+                        return Err(AnalysisError::UnmatchedRecv {
+                            device: DeviceId(d as u32),
+                            index: i,
+                            tag: op.tag,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(dag)
+    }
+
+    fn push_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        self.succs[from as usize].push(Edge { to, kind });
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes (two per action).
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The matched messages, in sender program order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Number of `BatchedComm` actions in the schedule.
+    pub fn batched_comms(&self) -> usize {
+        self.batched_comms
+    }
+
+    /// The schedule this DAG was built over.
+    pub fn schedule(&self) -> &Schedule {
+        self.schedule
+    }
+
+    /// Outgoing edges of a node.
+    pub(crate) fn successors(&self, node: u32) -> &[Edge] {
+        &self.succs[node as usize]
+    }
+
+    /// Map a node id back to its `(device, action index)` coordinate.
+    pub(crate) fn locate(&self, node: u32) -> (usize, usize) {
+        let g = node as usize / 2;
+        // offsets is sorted; the device owning g is the last offset <= g.
+        let d = self.offsets.partition_point(|&o| o <= g) - 1;
+        (d, g - self.offsets[d])
+    }
+
+    fn cycle_node(&self, node: u32) -> CycleNode {
+        let (d, i) = self.locate(node);
+        CycleNode {
+            device: DeviceId(d as u32),
+            index: i,
+            action: self.schedule.lists[d].actions[i].to_string(),
+        }
+    }
+
+    /// Topological order of the nodes, or the happens-before cycle that
+    /// prevents one — which is exactly a deadlock witness.
+    pub fn topo_order(&self) -> Result<Vec<u32>, AnalysisError> {
+        let n = self.succs.len();
+        // 0 = unvisited, 1 = on the DFS path, 2 = done.
+        let mut color = vec![0u8; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        // (node, next successor index) — an explicit DFS stack.
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if color[root as usize] != 0 {
+                continue;
+            }
+            color[root as usize] = 1;
+            stack.push((root, 0));
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if let Some(edge) = self.succs[node as usize].get(*next) {
+                    *next += 1;
+                    match color[edge.to as usize] {
+                        0 => {
+                            color[edge.to as usize] = 1;
+                            stack.push((edge.to, 0));
+                        }
+                        1 => {
+                            // Back edge: the path from `edge.to` to `node`
+                            // plus this edge is the cycle. Deduplicate
+                            // enter/exit pairs into action coordinates.
+                            let start = stack.iter().position(|&(v, _)| v == edge.to).unwrap_or(0);
+                            let mut cycle: Vec<CycleNode> = Vec::new();
+                            for &(v, _) in &stack[start..] {
+                                let step = self.cycle_node(v);
+                                if cycle.last() != Some(&step) {
+                                    cycle.push(step);
+                                }
+                            }
+                            cycle.push(self.cycle_node(edge.to));
+                            return Err(AnalysisError::Cycle { cycle });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node as usize] = 2;
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        order.reverse();
+        Ok(order)
+    }
+
+    /// Per-link FIFO consistency: on every directed link, the receiver
+    /// must block on messages in the order the sender posts them (ties —
+    /// messages posted or awaited by the same action — are unordered and
+    /// always fine). Tag-matched rendezvous tolerates inversions, but a
+    /// FIFO channel would deadlock on one, so generators must not emit
+    /// them.
+    pub fn check_fifo(&self) -> Result<(), AnalysisError> {
+        // messages() is already in sender program order per (src, dst).
+        let mut per_link: HashMap<(u32, u32), Vec<&Message>> = HashMap::new();
+        for m in &self.messages {
+            per_link.entry((m.src.0, m.dst.0)).or_default().push(m);
+        }
+        let mut links: Vec<_> = per_link.into_iter().collect();
+        links.sort_by_key(|&((s, d), _)| (s, d));
+        for ((_, _), msgs) in links {
+            // Running max of recv indices over strictly-earlier sends.
+            let mut frontier: Option<&Message> = None;
+            let mut i = 0;
+            while i < msgs.len() {
+                // One group of equal send indices at a time.
+                let mut j = i;
+                while j < msgs.len() && msgs[j].send_index == msgs[i].send_index {
+                    if let Some(prev) = frontier {
+                        if msgs[j].recv_index < prev.recv_index {
+                            return Err(AnalysisError::FifoInversion {
+                                src: prev.src,
+                                dst: prev.dst,
+                                first: prev.tag,
+                                second: msgs[j].tag,
+                            });
+                        }
+                    }
+                    j += 1;
+                }
+                for m in &msgs[i..j] {
+                    if frontier.is_none_or(|p| m.recv_index > p.recv_index) {
+                        frontier = Some(m);
+                    }
+                }
+                i = j;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! # hanayo-analyze
+//!
+//! Static verification of pipeline schedules — proofs the simulator would
+//! otherwise only discover by running:
+//!
+//! * **Deadlock freedom** — the explicit happens-before DAG over a
+//!   lowered [`hanayo_core::action::Schedule`] (program order per device,
+//!   matched send→recv message edges, enter/exit splitting for batched
+//!   comm) is acyclic iff the simulator never reports a deadlock. Cycles
+//!   come back as [`AnalysisError::Cycle`] naming the wait chain.
+//! * **Communication well-formedness** — every cross-stage dependency has
+//!   exactly one matched send/recv pair with consistent peers. Per-link
+//!   FIFO order is additionally *reported* (not enforced): tag-matched
+//!   rendezvous tolerates inversions and legal searched tables produce
+//!   them, but a strict FIFO channel would deadlock on one.
+//! * **Static peak memory** — an activation-liveness replay over each
+//!   device's serial op order that reproduces the simulator's `peak_mem`
+//!   *exactly*, making OOM a statically decidable verdict
+//!   ([`memory::static_peak_mem`]).
+//! * **Critical-path bound** — the longest path through the DAG weighted
+//!   by a [`hanayo_model::CostTable`] and a
+//!   [`hanayo_cluster::ClusterSpec`]; an admissible lower bound on the
+//!   simulated iteration time ([`critical::critical_path`]).
+//!
+//! [`report::analyze`] / [`report::analyze_table`] bundle all four into
+//! one [`AnalysisReport`]; `hanayo-sim` consumes the pieces as a pre-pass
+//! that rejects deadlocked or OOM candidates before paying for a
+//! simulation.
+
+pub mod critical;
+pub mod dag;
+pub mod error;
+pub mod memory;
+pub mod report;
+
+pub use critical::critical_path;
+pub use dag::{EdgeKind, HappensBefore, Message};
+pub use error::{AnalysisError, CycleNode};
+pub use memory::{device_weight_mem, static_peak_mem, static_peak_mem_compute, static_stash_peak};
+pub use report::{analyze, analyze_table, check_deadlock_free, AnalysisReport, DagStats};

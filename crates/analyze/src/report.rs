@@ -1,0 +1,124 @@
+//! The combined analysis entry points and their serializable report.
+
+use crate::critical::critical_path;
+use crate::dag::HappensBefore;
+use crate::error::AnalysisError;
+use crate::memory::{device_weight_mem, static_peak_mem};
+use hanayo_cluster::ClusterSpec;
+use hanayo_core::action::Schedule;
+use hanayo_core::comm;
+use hanayo_core::schedule::table::{check_table_with, ScheduleTable, TableLimits};
+use hanayo_model::CostTable;
+use serde::{Deserialize, Serialize};
+
+/// Size of the happens-before DAG, for reports and sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagStats {
+    /// Nodes (two per action: enter and exit).
+    pub nodes: usize,
+    /// Edges (span + program order + message).
+    pub edges: usize,
+    /// Matched point-to-point messages.
+    pub messages: usize,
+    /// `BatchedComm` actions (the §4.2 cross-communication batches).
+    pub batched_comms: usize,
+}
+
+/// Everything the static analysis proves about one schedule. A report is
+/// only produced when the hard properties hold — failures surface as the
+/// typed [`AnalysisError`] instead, so those boolean verdicts exist for
+/// the JSON consumer's benefit. The one soft verdict is
+/// [`fifo_consistent`](Self::fifo_consistent), which reports a hazard the
+/// rendezvous engines tolerate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Pipeline width.
+    pub devices: u32,
+    /// Global stage count.
+    pub stages: u32,
+    /// Micro-batches per iteration.
+    pub micro_batches: u32,
+    /// DAG size.
+    pub dag: DagStats,
+    /// No happens-before cycle: the simulator cannot deadlock on this
+    /// schedule.
+    pub deadlock_free: bool,
+    /// Every cross-stage dependency has exactly one matched send/recv
+    /// pair with consistent peers.
+    pub comm_well_formed: bool,
+    /// Per-link FIFO order holds (sender post order never inverts
+    /// receiver block order). Unlike the other verdicts this one can be
+    /// `false` in an `Ok` report: tag-matched rendezvous (what the
+    /// simulator and the runtime implement) tolerates inversions, and
+    /// legal searched tables do produce them — but a strict FIFO channel
+    /// (real NCCL p2p without tags) would deadlock, so the report
+    /// surfaces the hazard instead of enforcing it. Every *generated*
+    /// scheme is FIFO-clean (pinned by the golden snapshots).
+    pub fifo_consistent: bool,
+    /// Static weight+optimizer bytes per device.
+    pub weight_mem: Vec<u64>,
+    /// Static activation-stash peak per device (`peak_mem − weight_mem`).
+    pub stash_peak: Vec<u64>,
+    /// Static peak bytes per device — equals the simulator's `peak_mem`
+    /// exactly on every schedule the simulator completes.
+    pub peak_mem: Vec<u64>,
+    /// Critical-path lower bound on the iteration time, seconds.
+    pub critical_path_s: f64,
+}
+
+/// Prove deadlock freedom and communication well-formedness of a lowered
+/// schedule: matched messages, consistent peers, acyclic happens-before
+/// DAG. The cheap core of the tuner's static pre-pass.
+pub fn check_deadlock_free(schedule: &Schedule) -> Result<(), AnalysisError> {
+    let dag = HappensBefore::build(schedule)?;
+    dag.topo_order()?;
+    Ok(())
+}
+
+/// Run every static analysis over a lowered schedule: communication
+/// well-formedness, per-link FIFO consistency, deadlock freedom, the
+/// exact static memory peaks, and the critical-path bound.
+pub fn analyze(
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+) -> Result<AnalysisReport, AnalysisError> {
+    let dag = HappensBefore::build(schedule)?;
+    let fifo_consistent = dag.check_fifo().is_ok();
+    let critical_path_s = critical_path(&dag, cost, cluster)?;
+    let weight_mem = device_weight_mem(&schedule.stage_map, cost);
+    let peak_mem = static_peak_mem(schedule, cost);
+    let stash_peak: Vec<u64> = peak_mem.iter().zip(&weight_mem).map(|(&p, &w)| p - w).collect();
+    Ok(AnalysisReport {
+        devices: schedule.stage_map.devices,
+        stages: schedule.stage_map.stages,
+        micro_batches: schedule.config.micro_batches,
+        dag: DagStats {
+            nodes: dag.node_count(),
+            edges: dag.edge_count(),
+            messages: dag.messages().len(),
+            batched_comms: dag.batched_comms(),
+        },
+        deadlock_free: true,
+        comm_well_formed: true,
+        fifo_consistent,
+        weight_mem,
+        stash_peak,
+        peak_mem,
+        critical_path_s,
+    })
+}
+
+/// [`analyze`] for the tabular IR: the table-level invariants run first
+/// (shape, completeness, chain order, recompute typing, stash caps), then
+/// the table is lowered through the same path the simulator executes and
+/// the DAG analyses follow.
+pub fn analyze_table(
+    table: &ScheduleTable,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    limits: TableLimits,
+) -> Result<AnalysisReport, AnalysisError> {
+    check_table_with(table, limits)?;
+    analyze(&comm::lower(&table.to_compute()), cost, cluster)
+}

@@ -131,6 +131,9 @@ pub enum CkptError {
     },
     /// The file is not parseable as a checkpoint at all.
     Parse(String),
+    /// Rendering the checkpoint as JSON failed (unreachable for this
+    /// schema; surfaced as a typed error rather than a panic).
+    Serialize(String),
     /// Reading or writing the file failed.
     Io(String),
 }
@@ -154,6 +157,7 @@ impl fmt::Display for CkptError {
                 "checkpoint payload corrupt: CRC32 {computed:#010x} != stored {stored:#010x}"
             ),
             CkptError::Parse(msg) => write!(f, "checkpoint unparseable: {msg}"),
+            CkptError::Serialize(msg) => write!(f, "checkpoint unserializable: {msg}"),
             CkptError::Io(msg) => write!(f, "checkpoint I/O failed: {msg}"),
         }
     }
@@ -180,20 +184,21 @@ struct Header {
 impl Checkpoint {
     /// Canonical (compact) payload rendering — the bytes the CRC covers.
     /// Deterministic because every container this type uses renders in a
-    /// fixed order.
-    pub fn payload_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialization is infallible")
+    /// fixed order. Serialization of this schema cannot fail in practice;
+    /// the `Result` keeps the write path panic-free regardless.
+    pub fn payload_json(&self) -> Result<String, CkptError> {
+        serde_json::to_string(self).map_err(|e| CkptError::Serialize(e.to_string()))
     }
 
     /// Render the full envelope (pretty-printed; the CRC is computed over
     /// the canonical compact payload, so formatting never affects it).
-    pub fn to_json(&self) -> String {
+    pub fn to_json(&self) -> Result<String, CkptError> {
         let envelope = Envelope {
             schema_version: SCHEMA_VERSION,
-            crc32: crc32(self.payload_json().as_bytes()),
+            crc32: crc32(self.payload_json()?.as_bytes()),
             checkpoint: self.clone(),
         };
-        serde_json::to_string_pretty(&envelope).expect("envelope serialization is infallible")
+        serde_json::to_string_pretty(&envelope).map_err(|e| CkptError::Serialize(e.to_string()))
     }
 
     /// Parse an envelope, guarding schema version and payload integrity.
@@ -211,7 +216,7 @@ impl Checkpoint {
         // Round-tripping is exact, so re-rendering the parsed payload
         // reproduces the canonical bytes the writer hashed; any value the
         // file lost or altered changes this CRC.
-        let computed = crc32(envelope.checkpoint.payload_json().as_bytes());
+        let computed = crc32(envelope.checkpoint.payload_json()?.as_bytes());
         if computed != envelope.crc32 {
             return Err(CkptError::Integrity { stored: envelope.crc32, computed });
         }
@@ -220,7 +225,7 @@ impl Checkpoint {
 
     /// Write the envelope to a file.
     pub fn save(&self, path: &Path) -> Result<(), CkptError> {
-        std::fs::write(path, self.to_json()).map_err(|e| CkptError::Io(format!("{path:?}: {e}")))
+        std::fs::write(path, self.to_json()?).map_err(|e| CkptError::Io(format!("{path:?}: {e}")))
     }
 
     /// Read and fully validate a checkpoint file.
@@ -299,8 +304,12 @@ pub fn config_fingerprint(
     recompute: Recompute,
     stages: &[Stage],
 ) -> u64 {
+    // A schedule is a plain tree of structs and vecs, so serialization
+    // cannot fail; if it ever did, folding the (deterministic) error text
+    // into the hash keeps the guard sound — writer and reader derive the
+    // same token either way — instead of panicking mid-training.
     let schedule_json =
-        serde_json::to_string(schedule).expect("schedule serialization is infallible");
+        serde_json::to_string(schedule).unwrap_or_else(|e| format!("unserializable schedule: {e}"));
     let shape: Vec<u8> = stages
         .iter()
         .flat_map(|s| {
@@ -350,7 +359,7 @@ mod tests {
     #[test]
     fn roundtrip_is_bit_exact() {
         let c = sample();
-        let back = Checkpoint::from_json(&c.to_json()).unwrap();
+        let back = Checkpoint::from_json(&c.to_json().unwrap()).unwrap();
         assert_eq!(back, c);
         let bits = |c: &Checkpoint| {
             c.stages.iter().flat_map(|s| s.flat_params()).map(|v| v.to_bits()).collect::<Vec<_>>()
@@ -373,8 +382,11 @@ mod tests {
 
     #[test]
     fn unknown_schema_version_is_a_typed_error() {
-        let json =
-            sample().to_json().replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let json = sample().to_json().unwrap().replacen(
+            "\"schema_version\": 1",
+            "\"schema_version\": 99",
+            1,
+        );
         let err = Checkpoint::from_json(&json).unwrap_err();
         assert_eq!(err, CkptError::SchemaVersion { found: 99, supported: SCHEMA_VERSION });
         assert!(err.to_string().contains("v99"));
@@ -383,7 +395,7 @@ mod tests {
     #[test]
     fn corrupted_payload_fails_the_crc() {
         let c = sample();
-        let json = c.to_json();
+        let json = c.to_json().unwrap();
         // Flip one stored loss value; the envelope still parses but the
         // payload no longer matches its CRC.
         let needle = "0.75";
@@ -399,7 +411,7 @@ mod tests {
     fn whitespace_changes_do_not_trip_the_crc() {
         // The CRC covers the canonical payload, not the file formatting.
         let c = sample();
-        let json = c.to_json().replace('\n', " ");
+        let json = c.to_json().unwrap().replace('\n', " ");
         assert_eq!(Checkpoint::from_json(&json).unwrap(), c);
     }
 

@@ -5,7 +5,7 @@ use super::{bubble, CostTerms};
 use crate::config::PipelineConfig;
 use crate::config::Scheme;
 use crate::memory;
-use crate::schedule::build_compute_schedule;
+use crate::schedule::{build_compute_schedule, ScheduleError};
 use serde::Serialize;
 
 /// One row of the Fig. 2 table.
@@ -27,8 +27,10 @@ pub struct ComparisonRow {
 }
 
 /// Build the Fig. 2 comparison at a concrete `(P, B)` with `T_B = 2 T_F`,
-/// `T_C = 0`. `waves` selects the Hanayo row's wave count.
-pub fn comparison_table(p: u32, b: u32, waves: u32) -> Vec<ComparisonRow> {
+/// `T_C = 0`. `waves` selects the Hanayo row's wave count. Errs when the
+/// shape is invalid for one of the compared schemes (e.g. an odd `P` for
+/// Chimera) instead of panicking.
+pub fn comparison_table(p: u32, b: u32, waves: u32) -> Result<Vec<ComparisonRow>, ScheduleError> {
     let c = CostTerms::paper_default();
     let schemes: Vec<(Scheme, &'static str, f64)> = vec![
         (Scheme::GPipe, "(P-1)/(B+P-1)", bubble::gpipe(p, b, &c)),
@@ -43,17 +45,17 @@ pub fn comparison_table(p: u32, b: u32, waves: u32) -> Vec<ComparisonRow> {
     schemes
         .into_iter()
         .map(|(scheme, formula, ratio)| {
-            let cfg = PipelineConfig::new(p, b, scheme).expect("valid config");
-            let prof = memory::unit_profile(&build_compute_schedule(&cfg).expect("schedulable"));
+            let cfg = PipelineConfig::new(p, b, scheme)?;
+            let prof = memory::unit_profile(&build_compute_schedule(&cfg)?);
             let mw = prof.mw_units.iter().cloned().fold(0.0, f64::max);
             let ma = prof.ma_peak_units.iter().cloned().fold(0.0, f64::max);
-            ComparisonRow {
+            Ok(ComparisonRow {
                 scheme: scheme.to_string(),
                 bubble_formula: formula,
                 bubble_ratio: ratio,
                 mw_units: mw,
                 ma_units: ma,
-            }
+            })
         })
         .collect()
 }
@@ -88,7 +90,7 @@ mod tests {
         // lower Ma; Chimera low bubble but 2x Mw; Hanayo low bubble, 1x Mw.
         // (B > P is the regime where GPipe's stash-everything shows: at
         // B = P the head of a 1F1B pipe stashes just as much.)
-        let rows = comparison_table(8, 16, 2);
+        let rows = comparison_table(8, 16, 2).unwrap();
         let by = |name: &str| rows.iter().find(|r| r.scheme.contains(name)).unwrap().clone();
         let (g, d, c, h) = (by("GPipe"), by("DAPPLE"), by("Chimera"), by("Hanayo"));
         assert!(g.ma_units > d.ma_units || g.ma_units > h.ma_units, "GPipe Ma highest");
@@ -100,7 +102,7 @@ mod tests {
 
     #[test]
     fn render_is_aligned() {
-        let rows = comparison_table(4, 4, 1);
+        let rows = comparison_table(4, 4, 1).unwrap();
         let text = render_table(&rows);
         assert_eq!(text.lines().count(), rows.len() + 1);
         assert!(text.contains("Hanayo"));

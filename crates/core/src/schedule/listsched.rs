@@ -252,11 +252,8 @@ pub fn list_schedule(
     while let Some(Reverse(first)) = eng.events.pop() {
         let now = first.time;
         let mut touched = vec![eng.handle(first)];
-        while let Some(Reverse(peek)) = eng.events.peek() {
-            if peek.time != now {
-                break;
-            }
-            let Reverse(ev) = eng.events.pop().unwrap();
+        while eng.events.peek().is_some_and(|Reverse(peek)| peek.time == now) {
+            let Some(Reverse(ev)) = eng.events.pop() else { break };
             touched.push(eng.handle(ev));
         }
         touched.sort_unstable();

@@ -16,6 +16,8 @@
 //! deterministic move order, so a `(seed, table, scorer)` triple always
 //! reproduces the same result.
 
+use crate::chain::ComputeOp;
+use crate::ids::{DeviceId, MicroBatch, StageId};
 use crate::schedule::table::{check_table_with, ScheduleTable, Slot, TableError, TableLimits};
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +107,141 @@ pub fn apply_move(table: &mut ScheduleTable, mv: TableMove) -> bool {
             true
         }
     }
+}
+
+/// Column of `op` in the table, scanning only the row its stage map
+/// places it on (ops never sit elsewhere in a valid table).
+fn op_column(table: &ScheduleTable, op: ComputeOp) -> Option<usize> {
+    let d = table.stage_map.device_of(op.mb, op.stage).idx();
+    table.rows.get(d)?.iter().position(|s| s.compute_op() == Some(op))
+}
+
+/// Re-check one recompute slot's window: its forward strictly before and
+/// its backward strictly after it, on the same row.
+fn check_recompute_window(
+    table: &ScheduleTable,
+    device: usize,
+    t: usize,
+    mb: MicroBatch,
+    stage: StageId,
+) -> Result<(), TableError> {
+    let bad = TableError::BadRecompute { mb, stage, device: DeviceId(device as u32), column: t };
+    let fwd = op_column(table, ComputeOp { mb, stage, backward: false }).ok_or(bad.clone())?;
+    let bwd = op_column(table, ComputeOp { mb, stage, backward: true }).ok_or(bad.clone())?;
+    if fwd < t && t < bwd {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+/// Re-check the chain edges incident to the op at column `t`: its
+/// predecessor must sit strictly earlier, its successor strictly later.
+fn check_chain_neighbors(table: &ScheduleTable, op: ComputeOp, t: usize) -> Result<(), TableError> {
+    let s = table.stage_map.stages;
+    let pos = op.pos(s);
+    if pos > 0 {
+        let dep = ComputeOp::from_pos(op.mb, pos - 1, s);
+        let dep_t = op_column(table, dep).ok_or(TableError::MissingOp(dep))?;
+        if t <= dep_t {
+            return Err(TableError::DependencyViolation { op, column: t, dep_column: dep_t });
+        }
+    }
+    if pos + 1 < 2 * s {
+        let succ = ComputeOp::from_pos(op.mb, pos + 1, s);
+        let succ_t = op_column(table, succ).ok_or(TableError::MissingOp(succ))?;
+        if succ_t <= t {
+            return Err(TableError::DependencyViolation {
+                op: succ,
+                column: succ_t,
+                dep_column: t,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Incremental validity of `candidate = valid table + mv`: instead of
+/// re-running the full [`check_table_with`] pass, examine only what the
+/// move can break. A `Swap`/`Shift` permutes slots within one row, so
+/// shape, completeness, placement and recompute multiplicity are
+/// untouched; what can change is (a) the chain edges incident to each
+/// moved op, (b) the recompute windows of moved slots and of recomputes
+/// whose endpoints moved, and (c) the moved row's stash replay.
+/// `InsertIdle` is legal by construction.
+///
+/// The *verdict* (`is_ok`) always equals the full checker's on such
+/// candidates — pinned by a `debug_assert` in [`local_search`] and by the
+/// `move_check_matches_full_checker` property test — though the specific
+/// error may differ because the two passes scan in different orders.
+pub fn check_move(
+    candidate: &ScheduleTable,
+    mv: TableMove,
+    limits: TableLimits,
+) -> Result<(), TableError> {
+    let (device, touched) = match mv {
+        TableMove::Swap { device, a, b } => (device, [Some(a), Some(b)]),
+        TableMove::Shift { device, to, .. } => (device, [Some(to), None]),
+        TableMove::InsertIdle => return Ok(()),
+    };
+    let Some(row) = candidate.rows.get(device) else {
+        return Err(TableError::DeviceCountMismatch {
+            rows: candidate.rows.len(),
+            devices: candidate.stage_map.devices,
+        });
+    };
+
+    // Moved compute ops: their incident chain edges are the only
+    // dependency constraints whose columns changed.
+    let mut moved: [Option<(MicroBatch, StageId)>; 2] = [None, None];
+    for (k, t) in touched.iter().flatten().enumerate() {
+        match row[*t] {
+            Slot::Idle => {}
+            Slot::Recompute { mb, stage } => {
+                check_recompute_window(candidate, device, *t, mb, stage)?;
+            }
+            Slot::Fwd { mb, stage } | Slot::Bwd { mb, stage } => {
+                if let Some(op) = row[*t].compute_op() {
+                    check_chain_neighbors(candidate, op, *t)?;
+                }
+                moved[k] = Some((mb, stage));
+            }
+        }
+    }
+
+    // A moved forward/backward is a window endpoint of any recompute of
+    // the same (mb, stage); such recomputes live on the same row.
+    if moved.iter().any(Option::is_some) {
+        for (t, slot) in row.iter().enumerate() {
+            let Slot::Recompute { mb, stage } = *slot else { continue };
+            if moved.contains(&Some((mb, stage))) {
+                check_recompute_window(candidate, device, t, mb, stage)?;
+            }
+        }
+    }
+
+    // Stash replay of the one changed row.
+    if let Some(cap) = limits.stash_cap {
+        let mut live = 0u32;
+        for (t, slot) in row.iter().enumerate() {
+            match slot.compute_op() {
+                Some(op) if !op.backward => {
+                    live += 1;
+                    if live > cap {
+                        return Err(TableError::StashOverflow {
+                            device: DeviceId(device as u32),
+                            column: t,
+                            live,
+                            cap,
+                        });
+                    }
+                }
+                Some(_) => live = live.saturating_sub(1),
+                None => {}
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Knobs of the local search.
@@ -265,7 +402,16 @@ where
             if !matches!(mv, TableMove::InsertIdle) && order == best_order {
                 continue;
             }
-            if check_table_with(&candidate, opts.limits).is_err() {
+            // The incumbent is valid, so one move only needs the
+            // incremental check — O(moved ops × width) instead of a full
+            // table pass per candidate.
+            let valid = check_move(&candidate, mv, opts.limits);
+            debug_assert_eq!(
+                valid.is_ok(),
+                check_table_with(&candidate, opts.limits).is_ok(),
+                "incremental move check disagrees with the full checker on {mv:?}"
+            );
+            if valid.is_err() {
                 continue;
             }
             if matches!(mv, TableMove::InsertIdle) {

@@ -121,7 +121,7 @@ pub struct TableLimits {
 
 /// A violated table invariant. The checker returns the first violation,
 /// always naming the offending slot coordinates.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TableError {
     /// The table has a different number of rows than the stage map has
     /// devices.

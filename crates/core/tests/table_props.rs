@@ -7,8 +7,10 @@
 use hanayo_core::chain::ComputeOp;
 use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::build_compute_schedule;
-use hanayo_core::schedule::search::{apply_move, sample_legal_moves};
-use hanayo_core::schedule::table::{check_table, ScheduleTable, Slot, TableError};
+use hanayo_core::schedule::search::{apply_move, check_move, sample_legal_moves};
+use hanayo_core::schedule::table::{
+    check_table, check_table_with, ScheduleTable, Slot, TableError, TableLimits,
+};
 use proptest::prelude::*;
 
 fn any_scheme() -> impl Strategy<Value = Scheme> {
@@ -178,6 +180,102 @@ proptest! {
             "expected DuplicateOp or DependencyViolation, got {:?}",
             check_table(&table)
         );
+    }
+
+    #[test]
+    fn move_check_matches_full_checker(
+        p in 2u32..=5,
+        b in 2u32..=8,
+        scheme in any_scheme(),
+        seed in 0u64..u64::MAX,
+        steps in 1usize..=32,
+        raw_cap in 0u32..=6,
+    ) {
+        // The incremental per-move check must reach the same verdict as a
+        // full table pass on every candidate reachable from a valid
+        // incumbent — the invariant that lets `local_search` gate moves in
+        // O(width) instead of O(table).
+        let (p, b) = legalise(p, b, scheme);
+        // 0 means "no cap" — the vendored proptest has no option strategy.
+        let limits = TableLimits { stash_cap: (raw_cap > 0).then_some(raw_cap) };
+        let mut table = table_for(p, b, scheme);
+        if check_table_with(&table, limits).is_err() {
+            // The cap can reject the seed itself; nothing to walk from.
+            return Ok(());
+        }
+        for mv in sample_legal_moves(&table, seed, steps) {
+            let mut candidate = table.clone();
+            if !apply_move(&mut candidate, mv) {
+                continue;
+            }
+            let fast = check_move(&candidate, mv, limits);
+            let full = check_table_with(&candidate, limits);
+            prop_assert_eq!(
+                fast.is_ok(),
+                full.is_ok(),
+                "verdicts diverge on {:?}: fast {:?}, full {:?}",
+                mv,
+                fast,
+                full
+            );
+            if full.is_ok() {
+                table = candidate;
+            }
+        }
+    }
+
+    #[test]
+    fn move_check_covers_recompute_windows(
+        p in 2u32..=4,
+        b in 3u32..=6,
+        seed in 0u64..u64::MAX,
+        steps in 1usize..=24,
+    ) {
+        // Generators never emit Recompute slots, so inject one by hand
+        // (forward strictly before, backward strictly after, idle slot in
+        // between) and random-walk around it: moves that drag an endpoint
+        // across the replay must flip both verdicts together.
+        let mut table = table_for(p, b, Scheme::GPipe);
+        let mut injected = false;
+        'rows: for row in &mut table.rows {
+            for t in 0..row.len() {
+                let Slot::Fwd { mb, stage } = row[t] else { continue };
+                let Some(bwd) = row
+                    .iter()
+                    .position(|s| *s == Slot::Bwd { mb, stage })
+                else { continue };
+                if let Some(idle) =
+                    (t + 1..bwd).find(|&i| row[i].is_idle())
+                {
+                    row[idle] = Slot::Recompute { mb, stage };
+                    injected = true;
+                    break 'rows;
+                }
+            }
+        }
+        if !injected {
+            return Ok(());
+        }
+        prop_assert!(check_table(&table).is_ok(), "injected recompute must be legal");
+        for mv in sample_legal_moves(&table, seed, steps) {
+            let mut candidate = table.clone();
+            if !apply_move(&mut candidate, mv) {
+                continue;
+            }
+            let fast = check_move(&candidate, mv, TableLimits::default());
+            let full = check_table(&candidate);
+            prop_assert_eq!(
+                fast.is_ok(),
+                full.is_ok(),
+                "recompute verdicts diverge on {:?}: fast {:?}, full {:?}",
+                mv,
+                fast,
+                full
+            );
+            if full.is_ok() {
+                table = candidate;
+            }
+        }
     }
 
     #[test]

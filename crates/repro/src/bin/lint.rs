@@ -1,0 +1,219 @@
+//! `lint` — the repo's panic-freedom gate for library code.
+//!
+//! Scans the non-test sources of every library crate (everything except
+//! the `repro` figure/tool binaries and the benches) for the three
+//! panicking idioms: `.unwrap()`, `.expect(` and `panic!`. Lines inside
+//! `#[cfg(test)]` modules and comment lines are excluded.
+//!
+//! The committed baseline (`lint-baseline.txt` at the repo root) freezes
+//! the per-file hit counts that remain after the burn-down; any *new* hit
+//! fails the gate, and a removed hit fails it too, with a message to
+//! regenerate — so the baseline can only shrink deliberately:
+//!
+//! ```text
+//! cargo run -p hanayo-repro --bin lint              # gate (CI runs this)
+//! LINT_UPDATE=1 cargo run -p hanayo-repro --bin lint  # rewrite baseline
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose library sources the gate covers, relative to the repo
+/// root. Benches, shims and the repro binaries are out of scope: a panic
+/// there aborts a developer tool, not a tuning or training run.
+const SCOPES: [&str; 10] = [
+    "crates/analyze/src",
+    "crates/ckpt/src",
+    "crates/cluster/src",
+    "crates/core/src",
+    "crates/model/src",
+    "crates/runtime/src",
+    "crates/sim/src",
+    "crates/tensor/src",
+    "crates/trace/src",
+    "src",
+];
+
+/// The panicking idioms the gate counts. `unwrap_or*` combinators do not
+/// match `.unwrap()` and are fine; `debug_assert!` is compiled out of
+/// release builds and is not counted either.
+const PATTERNS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/repro; the repo root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Count panicking idioms in one file, skipping comment lines and
+/// `#[cfg(test)]` modules (tracked by brace depth from the `mod` line).
+fn count_hits(text: &str) -> usize {
+    let mut hits = 0usize;
+    let mut in_test_mod = false;
+    let mut test_depth = 0i64;
+    let mut pending_cfg_test = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if in_test_mod {
+            test_depth += line.matches('{').count() as i64;
+            test_depth -= line.matches('}').count() as i64;
+            if test_depth <= 0 {
+                in_test_mod = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                test_depth = line.matches('{').count() as i64 - line.matches('}').count() as i64;
+                in_test_mod = test_depth > 0;
+                continue;
+            }
+        }
+        hits += PATTERNS.iter().map(|p| line.matches(p).count()).sum::<usize>();
+    }
+    hits
+}
+
+/// Scan every in-scope file and return `relative path -> hit count`,
+/// omitting clean files so the baseline only lists offenders.
+fn scan(root: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for scope in SCOPES {
+        let dir = root.join(scope);
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files).map_err(|e| format!("walking {scope}: {e}"))?;
+        for file in files {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let hits = count_hits(&text);
+            if hits > 0 {
+                let rel = file
+                    .strip_prefix(root)
+                    .map_err(|e| format!("{}: {e}", file.display()))?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                counts.insert(rel, hits);
+            }
+        }
+    }
+    Ok(counts)
+}
+
+fn render(counts: &BTreeMap<String, usize>) -> String {
+    let total: usize = counts.values().sum();
+    let mut out = String::new();
+    writeln!(out, "# Panic-freedom baseline for the workspace's library crates.").unwrap();
+    writeln!(out, "# Counts `.unwrap()` / `.expect(` / `panic!` outside tests and comments.")
+        .unwrap();
+    writeln!(out, "# Regenerate with: LINT_UPDATE=1 cargo run -p hanayo-repro --bin lint").unwrap();
+    writeln!(out, "# total {total}").unwrap();
+    for (path, hits) in counts {
+        writeln!(out, "{hits:4} {path}").unwrap();
+    }
+    out
+}
+
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (hits, path) =
+            line.split_once(' ').ok_or_else(|| format!("malformed baseline line: {line}"))?;
+        let hits = hits.trim().parse().map_err(|e| format!("baseline line {line:?}: {e}"))?;
+        counts.insert(path.trim().to_string(), hits);
+    }
+    Ok(counts)
+}
+
+fn gate() -> Result<(), String> {
+    let root = repo_root();
+    let counts = scan(&root)?;
+    let baseline_path = root.join("lint-baseline.txt");
+
+    if std::env::var_os("LINT_UPDATE").is_some() {
+        std::fs::write(&baseline_path, render(&counts))
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline rewritten: {} hits across {} files",
+            counts.values().sum::<usize>(),
+            counts.len()
+        );
+        return Ok(());
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "missing baseline {} ({e}); generate with LINT_UPDATE=1 cargo run -p \
+             hanayo-repro --bin lint",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = parse_baseline(&baseline_text)?;
+
+    let mut problems = Vec::new();
+    for (path, &hits) in &counts {
+        match baseline.get(path) {
+            None => problems
+                .push(format!("{path}: {hits} new panicking call(s) in a previously clean file")),
+            Some(&base) if hits > base => {
+                problems.push(format!("{path}: {hits} panicking call(s), baseline allows {base}"))
+            }
+            Some(&base) if hits < base => problems.push(format!(
+                "{path}: {hits} panicking call(s), baseline records {base} — burn-down! \
+                 regenerate the baseline to lock in the improvement"
+            )),
+            Some(_) => {}
+        }
+    }
+    for path in baseline.keys() {
+        if !counts.contains_key(path) {
+            problems.push(format!(
+                "{path}: baseline lists it but it is now clean (or gone) — regenerate \
+                 the baseline to lock in the improvement"
+            ));
+        }
+    }
+    if !problems.is_empty() {
+        return Err(format!("panic-freedom gate failed:\n  {}", problems.join("\n  ")));
+    }
+    println!(
+        "ok: {} panicking call(s) across {} files, all within the committed baseline",
+        counts.values().sum::<usize>(),
+        counts.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match gate() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

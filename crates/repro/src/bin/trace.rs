@@ -229,7 +229,7 @@ fn run(args: &Args) -> Result<TraceDoc, String> {
             let cluster = fc_full_nvlink(p as usize);
             let cal = calibrate(&trace, s as usize).map_err(|e| e.to_string())?;
             let bytes = micro_cost_table(&stages, 64, 96, args.recompute);
-            let table = cal.cost_table(&bytes, &cluster);
+            let table = cal.cost_table(&bytes, &cluster).map_err(|e| e.to_string())?;
             let report = simulate(&schedule, &table, &cluster, SimOptions::default());
             // One iteration's measured span (the trace covers them all).
             let measured = trace.duration() / args.iterations as f64;
@@ -268,7 +268,7 @@ fn run(args: &Args) -> Result<TraceDoc, String> {
 
     let chrome_path = match &args.chrome {
         Some(path) => {
-            std::fs::write(path, chrome_trace_json(&trace))
+            std::fs::write(path, chrome_trace_json(&trace)?)
                 .map_err(|e| format!("writing {path}: {e}"))?;
             Some(path.clone())
         }

@@ -5,7 +5,7 @@ use hanayo_core::analysis::formulas::{comparison_table, render_table, Comparison
 
 /// The comparison rows at the figure's reference point.
 pub fn data() -> Vec<ComparisonRow> {
-    comparison_table(8, 8, 2)
+    comparison_table(8, 8, 2).expect("the reference shapes are valid for all four schemes")
 }
 
 /// Render the figure.

@@ -86,11 +86,15 @@ impl AllreduceHub {
         slot.contributions[rank] = Some(grads);
         slot.arrived += 1;
         if slot.arrived == self.world {
-            // Reduce in rank order for bitwise determinism.
-            let mut iter_contrib = slot.contributions.iter_mut();
-            let mut total = iter_contrib.next().and_then(Option::take).expect("rank 0 contributed");
-            for c in iter_contrib {
-                total.accumulate(c.as_ref().expect("all contributed"));
+            // Reduce in rank order for bitwise determinism. Every
+            // contribution is present (`arrived == world`, and `world >= 1`
+            // by construction), so the drain yields exactly `world` values;
+            // an impossible empty drain reads as an abort rather than a
+            // panic inside the lock.
+            let mut drained = slot.contributions.iter_mut().filter_map(Option::take);
+            let mut total = drained.next()?;
+            for c in drained {
+                total.accumulate(&c);
             }
             slot.reduced = Some(total);
             self.cv.notify_all();
@@ -105,8 +109,11 @@ impl AllreduceHub {
         if self.is_aborted() {
             return None;
         }
-        let slot = state.get_mut(&key).expect("slot present");
-        let out = slot.reduced.clone().expect("reduced present");
+        // The slot and its reduced value are guaranteed here (either this
+        // rank reduced above, or the wait loop saw `reduced` set under the
+        // same lock); losing either reads as an abort rather than a panic.
+        let slot = state.get_mut(&key)?;
+        let out = slot.reduced.clone()?;
         slot.taken += 1;
         if slot.taken == self.world {
             state.remove(&key);

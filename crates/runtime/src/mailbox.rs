@@ -59,15 +59,17 @@ pub struct Mailbox {
 }
 
 impl Mailbox {
-    /// Blocking receive of a specific `(iter, tag)` message.
-    pub fn recv(&mut self, iter: u32, tag: MsgTag) -> Tensor {
+    /// Blocking receive of a specific `(iter, tag)` message. Returns
+    /// `None` if the fabric disconnects while the receive is pending —
+    /// every sender is gone, so the message can never arrive.
+    pub fn recv(&mut self, iter: u32, tag: MsgTag) -> Option<Tensor> {
         if let Some(t) = self.parked.remove(&(iter, tag)) {
-            return t;
+            return Some(t);
         }
         loop {
-            let env = self.rx.recv().expect("fabric closed while a receive was pending");
+            let Ok(env) = self.rx.recv() else { return None };
             if env.iter == iter && env.tag == tag {
-                return env.tensor;
+                return Some(env.tensor);
             }
             self.parked.insert((env.iter, env.tag), env.tensor);
         }
@@ -110,9 +112,11 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Non-blocking send to `device`.
+    /// Non-blocking send to `device`. A closed peer mailbox means that
+    /// worker already exited (failure injection or abort); the message is
+    /// dropped — the abort latch, not the fabric, reports such failures.
     pub fn send(&self, device: usize, env: Envelope) {
-        self.senders[device].send(env).expect("peer mailbox dropped while sending");
+        let _ = self.senders[device].send(env);
     }
 
     /// Number of endpoints.
@@ -157,7 +161,7 @@ mod tests {
     fn in_order_delivery() {
         let (fab, mut boxes) = fabric(2);
         fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(7.0) });
-        let got = boxes[1].recv(0, tag(0, 1));
+        let got = boxes[1].recv(0, tag(0, 1)).unwrap();
         assert_eq!(got.data, vec![7.0]);
     }
 
@@ -167,9 +171,9 @@ mod tests {
         fab.send(1, Envelope { iter: 0, tag: tag(1, 1), tensor: t(2.0) });
         fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(1.0) });
         // Ask for mb0 first even though mb1 arrived first.
-        assert_eq!(boxes[1].recv(0, tag(0, 1)).data, vec![1.0]);
+        assert_eq!(boxes[1].recv(0, tag(0, 1)).unwrap().data, vec![1.0]);
         assert_eq!(boxes[1].parked_len(), 1);
-        assert_eq!(boxes[1].recv(0, tag(1, 1)).data, vec![2.0]);
+        assert_eq!(boxes[1].recv(0, tag(1, 1)).unwrap().data, vec![2.0]);
         assert_eq!(boxes[1].parked_len(), 0);
     }
 
@@ -179,15 +183,15 @@ mod tests {
         // Same tag, two iterations, sent in reverse order.
         fab.send(1, Envelope { iter: 1, tag: tag(0, 1), tensor: t(11.0) });
         fab.send(1, Envelope { iter: 0, tag: tag(0, 1), tensor: t(10.0) });
-        assert_eq!(boxes[1].recv(0, tag(0, 1)).data, vec![10.0]);
-        assert_eq!(boxes[1].recv(1, tag(0, 1)).data, vec![11.0]);
+        assert_eq!(boxes[1].recv(0, tag(0, 1)).unwrap().data, vec![10.0]);
+        assert_eq!(boxes[1].recv(1, tag(0, 1)).unwrap().data, vec![11.0]);
     }
 
     #[test]
     fn cross_thread_transfer() {
         let (fab, mut boxes) = fabric(2);
         let mut b1 = boxes.remove(1);
-        let h = std::thread::spawn(move || b1.recv(0, tag(3, 1)).data[0]);
+        let h = std::thread::spawn(move || b1.recv(0, tag(3, 1)).unwrap().data[0]);
         fab.send(1, Envelope { iter: 0, tag: tag(3, 1), tensor: t(42.0) });
         assert_eq!(h.join().unwrap(), 42.0);
     }

@@ -328,7 +328,22 @@ fn try_train_dp_segment(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replica threads catch their own panics"))
+            .map(|h| {
+                // Replica threads catch their own panics above; a join
+                // failure would mean a panic escaped the catch (e.g. in
+                // the unwind path itself) — fold it into the same typed
+                // failure instead of propagating the panic.
+                h.join().unwrap_or_else(|payload| {
+                    let w = WorkerError::Panicked {
+                        device: DeviceId(0),
+                        message: format!(
+                            "replica thread (device unknown): {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    };
+                    Err(TrainError { primary: w.clone(), replica: None, failures: vec![(0, w)] })
+                })
+            })
             .collect()
     });
     let mut ok = Vec::with_capacity(dp);
@@ -343,8 +358,18 @@ fn try_train_dp_segment(
     if let Some(e) = train_error(failures, true) {
         return Err(e);
     }
+    // Every replica either succeeded or contributed a failure, and
+    // `dp >= 1` is asserted on entry, so at least one success remains
+    // after the early return above.
+    let Some(first) = ok.first() else {
+        let w = WorkerError::Panicked {
+            device: DeviceId(0),
+            message: "no replica produced output (dp == 0?)".to_string(),
+        };
+        return Err(TrainError { primary: w.clone(), replica: None, failures: vec![(0, w)] });
+    };
     // Replicas end bit-identical; average their reported losses.
-    let iters = ok[0].losses.len();
+    let iters = first.losses.len();
     let losses =
         (0..iters).map(|i| ok.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
     let peak = ok.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
@@ -361,7 +386,7 @@ fn try_train_dp_segment(
     });
     Ok(TrainOutput {
         losses,
-        stages: ok.into_iter().next().expect("dp >= 1").stages,
+        stages: ok.into_iter().next().map_or_else(Vec::new, |o| o.stages),
         peak_stash_bytes: peak,
         trace,
     })
@@ -1139,7 +1164,8 @@ mod tests {
         // Resume (disarming the failure) and land on the exact bits of the
         // uninterrupted run. The checkpoint round-trips through its file
         // format on the way, so on-disk exactness is part of the claim.
-        let restored = hanayo_ckpt::Checkpoint::from_json(&ckpt.to_json()).expect("valid envelope");
+        let restored =
+            hanayo_ckpt::Checkpoint::from_json(&ckpt.to_json().unwrap()).expect("valid envelope");
         let resume_cfg = TrainerConfig { failure: FailurePlan::None, ..cfg.clone() };
         let resumed = resume(&resume_cfg, &restored, &data).unwrap();
         bitwise_equal(&uninterrupted, &resumed);

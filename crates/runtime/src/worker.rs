@@ -603,9 +603,17 @@ fn run_action_lists(
                         // rendezvous is its own (comm-kind) span, so the
                         // wait is never double-counted as busy compute.
                         let t0 = tick();
-                        let module = cfg.modules.get_mut(&s).expect("own key");
+                        let module = cfg
+                            .modules
+                            .get_mut(&s)
+                            .ok_or(WorkerError::MissingModule { device, stage: StageId(s) })?;
                         let mut total = module.zero_grads();
-                        for slot in slots.get_mut(&s).expect("own key") {
+                        let stage_slots =
+                            slots.get_mut(&s).ok_or(WorkerError::MissingSlotGradient {
+                                device,
+                                stage: StageId(s),
+                            })?;
+                        for slot in stage_slots {
                             let g = slot.take().ok_or(WorkerError::MissingSlotGradient {
                                 device,
                                 stage: StageId(s),

@@ -70,7 +70,7 @@ proptest! {
         prop_assert_eq!(ckpt.iteration % every, 0, "checkpoints sit on policy boundaries");
 
         // Resume through the on-disk format, with the injection disarmed.
-        let restored = Checkpoint::from_json(&ckpt.to_json()).expect("valid envelope");
+        let restored = Checkpoint::from_json(&ckpt.to_json().unwrap()).expect("valid envelope");
         let resumed = resume(
             &TrainerConfig { failure: FailurePlan::None, ..armed },
             &restored,

@@ -10,6 +10,7 @@ use crate::engine::{try_simulate, validate_numerics, NumericsError, SimError, Si
 use crate::report::SimReport;
 use hanayo_cluster::collective::ring_allreduce_time;
 use hanayo_cluster::ClusterSpec;
+use hanayo_core::action::Schedule;
 use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::{build_schedule, ScheduleError};
 use hanayo_model::{CostTable, ModelConfig, Recompute};
@@ -204,26 +205,44 @@ pub fn evaluate_plan(
     // bandwidth would otherwise silently corrupt every simulated time.
     validate_numerics(&cost, cluster, &opts).map_err(PlanError::Numerics)?;
 
-    // Simulate each group on its contiguous device slice.
+    evaluate_resolved(plan, cluster, opts, (pp_eff, dp_eff, b_eff), &schedule, &cost)
+}
+
+/// The simulation half of [`evaluate_plan`], taking the already-resolved
+/// shape and the built schedule/cost table. The tuner's static pre-pass
+/// builds these artifacts anyway to replay memory; handing them over here
+/// means a plan that survives the pre-pass is not re-lowered from scratch.
+/// Schedule lowering and cost construction are deterministic, so the
+/// result is byte-identical to the from-scratch path.
+pub(crate) fn evaluate_resolved(
+    plan: &ParallelPlan,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+    (pp_eff, dp_eff, b_eff): (u32, u32, u32),
+    schedule: &Schedule,
+    cost: &CostTable,
+) -> Result<PlanResult, PlanError> {
+    // Simulate each group on its contiguous device slice. `resolve`
+    // guarantees `dp_eff >= 1`, so group 0 runs unconditionally and its
+    // report stands in for every (identical) group below.
     let mut peak_mem = vec![0u64; cluster.len()];
-    let mut pipeline_time = 0.0f64;
-    let mut first_report: Option<SimReport> = None;
-    for g in 0..dp_eff {
+    let run_group = |g: u32, peak_mem: &mut [u64]| -> Result<SimReport, PlanError> {
         let devices: Vec<usize> = (0..pp_eff as usize).map(|r| (g * pp_eff) as usize + r).collect();
         let sub = cluster.select(&devices);
-        let report = try_simulate(&schedule, &cost, &sub, opts).map_err(|e| match e {
+        let report = try_simulate(schedule, cost, &sub, opts).map_err(|e| match e {
             SimError::Numerics(n) => PlanError::Numerics(n),
             other => PlanError::Sim(other),
         })?;
-        pipeline_time = pipeline_time.max(report.iteration_time);
         for (r, &global) in devices.iter().enumerate() {
             peak_mem[global] = report.peak_mem[r];
         }
-        if first_report.is_none() {
-            first_report = Some(report);
-        }
+        Ok(report)
+    };
+    let group_report = run_group(0, &mut peak_mem)?;
+    let mut pipeline_time = group_report.iteration_time;
+    for g in 1..dp_eff {
+        pipeline_time = pipeline_time.max(run_group(g, &mut peak_mem)?.iteration_time);
     }
-    let group_report = first_report.expect("at least one group");
 
     // Data-parallel gradient all-reduce of the fp16 gradient buffers. Only
     // the non-overlapped fraction is exposed on the critical path (see

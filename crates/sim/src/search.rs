@@ -192,7 +192,16 @@ pub fn search_schedule(
 
     let seed_table = ScheduleTable::from_compute(&seed_cs);
     let (table, stats) = local_search(&seed_table, &opts.to_core(), |t| {
-        simulate_order(&t.to_compute(), &cost, cluster, sim).ok()
+        // Lower once and statically screen for deadlock before paying for
+        // a simulation. Tables that pass the validity checker can never
+        // deadlock (strict chain order admits a synchronous execution
+        // witness), so this is a soundness guard for the pre-pass wiring,
+        // not a hot filter.
+        let schedule = comm::lower(&t.to_compute());
+        if hanayo_analyze::check_deadlock_free(&schedule).is_err() {
+            return None;
+        }
+        try_simulate(&schedule, &cost, cluster, sim).ok().map(|r| r.iteration_time)
     })
     .map_err(ScheduleSearchError::Seed)?;
 

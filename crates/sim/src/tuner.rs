@@ -32,15 +32,21 @@
 //! corrupt numerics). The sweep binary (`cargo run -p hanayo-repro --bin
 //! sweep`) emits both tables as JSON.
 
-use crate::engine::SimOptions;
-use crate::plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
+use crate::engine::{validate_numerics, SimOptions};
+use crate::plan::{evaluate_plan, evaluate_resolved, resolve, Method, ParallelPlan, PlanResult};
 use crate::search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
+use hanayo_analyze::{check_deadlock_free, static_peak_mem};
 use hanayo_ckpt::recovery;
 use hanayo_ckpt::{RecoveryEval, RecoveryOptions};
 use hanayo_cluster::ClusterSpec;
-use hanayo_model::{ModelConfig, Recompute};
+use hanayo_core::action::Schedule;
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::schedule::build_schedule;
+use hanayo_model::{CostTable, ModelConfig, Recompute};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// One evaluated candidate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,6 +195,15 @@ pub struct TuneOptions {
     /// [`Tuning::searched`]. Deterministic (seeded), so [`tune`] and
     /// [`tune_serial`] stay byte-identical.
     pub schedule_search: Option<ScheduleSearchOptions>,
+    /// Statically reject candidates before simulating: a deadlock-free
+    /// happens-before DAG plus the analyzer's exact activation-liveness
+    /// replay decide OOM without running the engine, so memory-doomed
+    /// plans skip their simulation entirely. The ranking (and every
+    /// rejection record) is *byte-identical* with the pre-pass on or off —
+    /// the static peak equals the simulated peak exactly — which is why it
+    /// defaults to on. Turn it off to benchmark the saving or to force
+    /// every candidate through the engine.
+    pub static_prune: bool,
 }
 
 impl Default for TuneOptions {
@@ -205,6 +220,7 @@ impl Default for TuneOptions {
             checkpoint_intervals: Vec::new(),
             recovery: RecoveryOptions::default(),
             schedule_search: None,
+            static_prune: true,
         }
     }
 }
@@ -431,8 +447,126 @@ fn recovery_candidates(
     out
 }
 
+/// One candidate's evaluation outcome: a simulated result, a statically
+/// proven OOM (carrying the finished [`Rejection`] — no simulation ran),
+/// or a shape-level failure.
+enum Outcome {
+    Simulated(PlanResult),
+    StaticOom(Rejection),
+    Shape(String),
+}
+
+/// Memoized deadlock verdicts for one sweep, keyed by the schedule's
+/// shape `(scheme, pp_eff, b_eff)` — the only inputs schedule lowering
+/// takes. The wide sweep ablates sim options, micro-batch sizes and
+/// recompute modes, none of which change the schedule, so dozens of
+/// candidates share one happens-before DAG. The verdict is a pure
+/// function of the key, so memoization cannot perturb the (byte-identical)
+/// ranking regardless of worker interleaving.
+type DeadlockCache = Mutex<HashMap<(Scheme, u32, u32), bool>>;
+
+/// What the static pre-pass decided about one plan.
+enum StaticVerdict {
+    /// Statically proven OOM on a deadlock-free schedule: skip the
+    /// simulation and record this rejection.
+    Reject(Rejection),
+    /// Every static check passed. The built schedule and cost table are
+    /// handed to [`evaluate_resolved`] so a surviving plan is not
+    /// re-lowered from scratch — `shape` is `(pp_eff, dp_eff, b_eff)`.
+    Pass { shape: (u32, u32, u32), schedule: Schedule, cost: CostTable },
+    /// Some pre-simulation step failed; the normal [`evaluate_plan`] path
+    /// re-runs it and produces the identical error record.
+    Undecided,
+}
+
+/// The tuner's static pre-pass: decide `Rejection::Oom` without
+/// simulating. Replicates [`evaluate_plan`]'s pre-simulation steps
+/// exactly; if *any* of them fails, returns `Undecided` so the normal
+/// path produces the identical error record. A prune fires only when the
+/// analyzer also proves the schedule deadlock-free (so the simulation it
+/// skips would have completed and reported exactly these peaks — the
+/// analyzer's static replay is exact, not just a bound) and some device's
+/// peak exceeds its capacity. One deadlock check covers every
+/// data-parallel group: the verdict is timing-independent and all groups
+/// run the same schedule.
+fn static_verdict(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    plan: &ParallelPlan,
+    sim: SimOptions,
+    dl_cache: &DeadlockCache,
+) -> StaticVerdict {
+    let needed = plan.dp * plan.pp;
+    if needed as usize > cluster.len() {
+        return StaticVerdict::Undecided;
+    }
+    let Ok((scheme, pp_eff, dp_mult, b_eff)) = resolve(plan.method, plan.pp, plan.micro_batches)
+    else {
+        return StaticVerdict::Undecided;
+    };
+    let dp_eff = plan.dp * dp_mult;
+    let Ok(cfg) = PipelineConfig::new(pp_eff, b_eff, scheme) else {
+        return StaticVerdict::Undecided;
+    };
+    let Ok(schedule) = build_schedule(&cfg) else {
+        return StaticVerdict::Undecided;
+    };
+    let cost = CostTable::build_with(model, cfg.stages(), plan.micro_batch_size, plan.recompute);
+    if validate_numerics(&cost, cluster, &sim).is_err() {
+        return StaticVerdict::Undecided;
+    }
+
+    // Exact static replay of the engine's per-device memory accounting,
+    // broadcast over the groups the way evaluate_plan merges group
+    // reports (memory is schedule-order-determined, so every group peaks
+    // identically; devices outside the plan stay at zero).
+    let group_peak = static_peak_mem(&schedule, &cost);
+    let mut peak_mem = vec![0u64; cluster.len()];
+    for g in 0..dp_eff as usize {
+        for (r, &peak) in group_peak.iter().enumerate().take(pp_eff as usize) {
+            peak_mem[g * pp_eff as usize + r] = peak;
+        }
+    }
+    let oom_devices: Vec<usize> =
+        (0..cluster.len()).filter(|&d| peak_mem[d] > cluster.memory(d)).collect();
+    if oom_devices.is_empty() {
+        return StaticVerdict::Pass { shape: (pp_eff, dp_eff, b_eff), schedule, cost };
+    }
+    // Only now pay for the happens-before DAG: a prune fires only when
+    // the analyzer also proves the schedule deadlock-free, so the
+    // simulation it skips would have reported exactly these peaks rather
+    // than a deadlock. Plans that fit in memory skip the DAG entirely —
+    // they are heading into the engine anyway — and candidates sharing a
+    // schedule shape share one memoized verdict. A poisoned cache lock
+    // degrades to recomputing, never to a wrong verdict.
+    let key = (scheme, pp_eff, b_eff);
+    let cached = dl_cache.lock().ok().and_then(|m| m.get(&key).copied());
+    let deadlock_free = match cached {
+        Some(v) => v,
+        None => {
+            let v = check_deadlock_free(&schedule).is_ok();
+            if let Ok(mut m) = dl_cache.lock() {
+                m.insert(key, v);
+            }
+            v
+        }
+    };
+    if !deadlock_free {
+        return StaticVerdict::Undecided;
+    }
+    let (worst, peak) =
+        oom_devices.iter().map(|&d| (d, peak_mem[d])).max_by_key(|&(_, m)| m).unwrap_or((0, 0));
+    StaticVerdict::Reject(Rejection::Oom {
+        plan: *plan,
+        sim,
+        peak_bytes: peak,
+        capacity_bytes: cluster.memory(worst),
+        devices: oom_devices,
+    })
+}
+
 fn assemble(
-    evaluated: Vec<(ParallelPlan, SimOptions, Result<PlanResult, String>)>,
+    evaluated: Vec<(ParallelPlan, SimOptions, Outcome)>,
     cluster: &ClusterSpec,
     opts: &TuneOptions,
 ) -> Tuning {
@@ -441,7 +575,8 @@ fn assemble(
     let mut rejected = Vec::new();
     for (plan, sim, outcome) in evaluated {
         match outcome {
-            Ok(result) if result.is_oom() => {
+            Outcome::StaticOom(rejection) => rejected.push(rejection),
+            Outcome::Simulated(result) if result.is_oom() => {
                 // Report the worst of the devices that actually overflowed
                 // (on heterogeneous-memory clusters the globally highest
                 // peak can live on a device that fits).
@@ -459,7 +594,7 @@ fn assemble(
                     devices: result.oom_devices.clone(),
                 });
             }
-            Ok(result) => {
+            Outcome::Simulated(result) => {
                 let base = Candidate { plan, sim, result, recovery: None };
                 if intervals.is_empty() {
                     ranked.push(base);
@@ -467,7 +602,7 @@ fn assemble(
                     ranked.extend(recovery_candidates(base, &intervals, cluster, opts));
                 }
             }
-            Err(reason) => rejected.push(Rejection::InvalidShape { plan, sim, reason }),
+            Outcome::Shape(reason) => rejected.push(Rejection::InvalidShape { plan, sim, reason }),
         }
     }
     ranked.sort_by(|a, b| {
@@ -523,11 +658,32 @@ fn attach_schedule_search(
 fn evaluate_candidate(
     model: &ModelConfig,
     cluster: &ClusterSpec,
+    opts: &TuneOptions,
+    dl_cache: &DeadlockCache,
     (plan, sim, shape_reason): &(ParallelPlan, SimOptions, Option<String>),
-) -> (ParallelPlan, SimOptions, Result<PlanResult, String>) {
-    let outcome = match shape_reason {
-        Some(reason) => Err(reason.clone()),
-        None => evaluate_plan(plan, model, cluster, *sim).map_err(|e| e.to_string()),
+) -> (ParallelPlan, SimOptions, Outcome) {
+    if let Some(reason) = shape_reason {
+        return (*plan, *sim, Outcome::Shape(reason.clone()));
+    }
+    if opts.static_prune {
+        match static_verdict(model, cluster, plan, *sim, dl_cache) {
+            StaticVerdict::Reject(rejection) => {
+                return (*plan, *sim, Outcome::StaticOom(rejection));
+            }
+            StaticVerdict::Pass { shape, schedule, cost } => {
+                let outcome = match evaluate_resolved(plan, cluster, *sim, shape, &schedule, &cost)
+                {
+                    Ok(result) => Outcome::Simulated(result),
+                    Err(e) => Outcome::Shape(e.to_string()),
+                };
+                return (*plan, *sim, outcome);
+            }
+            StaticVerdict::Undecided => {}
+        }
+    }
+    let outcome = match evaluate_plan(plan, model, cluster, *sim) {
+        Ok(result) => Outcome::Simulated(result),
+        Err(e) => Outcome::Shape(e.to_string()),
     };
     (*plan, *sim, outcome)
 }
@@ -547,8 +703,11 @@ pub fn tune(
     opts: &TuneOptions,
 ) -> Tuning {
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
-    let evaluated: Vec<_> =
-        space.par_iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
+    let dl_cache = DeadlockCache::default();
+    let evaluated: Vec<_> = space
+        .par_iter()
+        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, cand))
+        .collect();
     attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
 
@@ -563,8 +722,11 @@ pub fn tune_serial(
     opts: &TuneOptions,
 ) -> Tuning {
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
-    let evaluated: Vec<_> =
-        space.iter().map(|cand| evaluate_candidate(model, cluster, cand)).collect();
+    let dl_cache = DeadlockCache::default();
+    let evaluated: Vec<_> = space
+        .iter()
+        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, cand))
+        .collect();
     attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
 
@@ -625,6 +787,35 @@ mod tests {
         }
         for c in &t.ranked {
             assert!(!c.result.is_oom());
+        }
+    }
+
+    #[test]
+    fn static_prune_is_byte_identical_and_catches_every_oom() {
+        // The OOM-heavy scenario from oom_plans_are_reported_not_ranked,
+        // swept wide: with the static pre-pass every memory rejection is
+        // decided without simulating, and the entire tuning — ranking,
+        // rejection records, order — is byte-identical to the unpruned
+        // run.
+        let model = ModelConfig::bert64();
+        let cluster = lonestar6(8);
+        let wide = opts().wide();
+        let pruned = tune(&model, &cluster, 16, 4, &wide);
+        let unpruned =
+            tune(&model, &cluster, 16, 4, &TuneOptions { static_prune: false, ..wide.clone() });
+        assert_eq!(pruned, unpruned);
+        let ooms = pruned.rejected.iter().filter(|r| r.is_oom()).count();
+        assert!(ooms > 0, "scenario must actually exercise the memory axis");
+        // And the pre-pass alone reproduces each recorded rejection.
+        for r in &pruned.rejected {
+            if let Rejection::Oom { plan, sim, .. } = r {
+                let StaticVerdict::Reject(statically) =
+                    static_verdict(&model, &cluster, plan, *sim, &DeadlockCache::default())
+                else {
+                    panic!("every simulated OOM must be statically decidable");
+                };
+                assert_eq!(&statically, r);
+            }
         }
     }
 

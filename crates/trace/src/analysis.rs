@@ -168,9 +168,11 @@ fn critical_path(trace: &Trace) -> (usize, f64) {
         }
     }
 
-    let mut cur = (0..compute.len())
-        .max_by(|&a, &b| compute[a].t_end.total_cmp(&compute[b].t_end))
-        .expect("non-empty");
+    let Some(mut cur) =
+        (0..compute.len()).max_by(|&a, &b| compute[a].t_end.total_cmp(&compute[b].t_end))
+    else {
+        return (0, 0.0);
+    };
     let mut hops = 1usize;
     let mut total = compute[cur].duration();
     // The dependency structure is acyclic, but cap the walk at the event

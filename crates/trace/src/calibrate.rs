@@ -66,6 +66,23 @@ pub enum CalibrateError {
         /// `"fwd"` or `"bwd"`.
         direction: &'static str,
     },
+    /// The byte-column table handed to [`Calibration::cost_table`] covers
+    /// a different stage count than the calibration.
+    StageCountMismatch {
+        /// Stages in the byte-column table.
+        bytes: usize,
+        /// Stages the calibration covers.
+        calibrated: usize,
+    },
+    /// A calibrated stage ran on a device outside the target cluster
+    /// (e.g. a data-parallel merge onto global ranks) — converting its
+    /// timing would silently pick another device's speed.
+    DeviceOutOfRange {
+        /// The out-of-range device.
+        device: u32,
+        /// Devices in the target cluster.
+        cluster: usize,
+    },
 }
 
 impl fmt::Display for CalibrateError {
@@ -74,6 +91,19 @@ impl fmt::Display for CalibrateError {
             CalibrateError::Empty => write!(f, "trace has no compute events to calibrate from"),
             CalibrateError::MissingStage { stage, direction } => {
                 write!(f, "trace has no {direction} samples for stage {stage}")
+            }
+            CalibrateError::StageCountMismatch { bytes, calibrated } => {
+                write!(
+                    f,
+                    "byte-column table covers {bytes} stages, calibration covers {calibrated}"
+                )
+            }
+            CalibrateError::DeviceOutOfRange { device, cluster } => {
+                write!(
+                    f,
+                    "stage ran on device {device}, but the target cluster has only {cluster} \
+                     devices — calibrate per pipeline group, or pass the full cluster"
+                )
             }
         }
     }
@@ -176,22 +206,24 @@ impl Calibration {
     /// inverted from the measured link time through the cluster's first
     /// pipeline link so the simulated transfer occupancy matches.
     ///
-    /// Panics if `bytes` covers a different stage count.
-    pub fn cost_table(&self, bytes: &CostTable, cluster: &ClusterSpec) -> CostTable {
-        assert_eq!(
-            bytes.stages(),
-            self.stages(),
-            "byte-column table must cover the calibrated stage count"
-        );
+    /// Errs when `bytes` covers a different stage count, or a calibrated
+    /// stage ran on a device outside `cluster`.
+    pub fn cost_table(
+        &self,
+        bytes: &CostTable,
+        cluster: &ClusterSpec,
+    ) -> Result<CostTable, CalibrateError> {
+        if bytes.stages() != self.stages() {
+            return Err(CalibrateError::StageCountMismatch {
+                bytes: bytes.stages(),
+                calibrated: self.stages(),
+            });
+        }
         // A trace recorded on more devices than `cluster` has (e.g. a
         // data-parallel merge onto global ranks) must not silently pick
         // an arbitrary device's speed on a heterogeneous cluster.
         if let Some(&bad) = self.stage_device.iter().find(|&&d| d as usize >= cluster.len()) {
-            panic!(
-                "Calibration::cost_table: stage ran on device {bad}, but the target cluster has \
-                 only {} devices — calibrate per pipeline group, or pass the full cluster",
-                cluster.len()
-            );
+            return Err(CalibrateError::DeviceOutOfRange { device: bad, cluster: cluster.len() });
         }
         let flops_at = |s: usize| cluster.effective_flops(self.stage_device[s] as usize);
         let fwd_flops: Vec<f64> =
@@ -208,7 +240,7 @@ impl Calibration {
         } else {
             bytes.msg_bytes
         };
-        CostTable {
+        Ok(CostTable {
             layers_per_stage: bytes.layers_per_stage.clone(),
             fwd_flops,
             bwd_flops,
@@ -216,7 +248,7 @@ impl Calibration {
             weight_bytes: bytes.weight_bytes.clone(),
             grad_bytes: bytes.grad_bytes.clone(),
             msg_bytes,
-        }
+        })
     }
 }
 
@@ -274,7 +306,7 @@ mod tests {
         let cluster = fc_full_nvlink(2);
         let c = calibrate(&measured(), 2).unwrap();
         let bytes = CostTable::build(&ModelConfig::bert64(), 2, 1);
-        let table = c.cost_table(&bytes, &cluster);
+        let table = c.cost_table(&bytes, &cluster).unwrap();
         // Simulated compute time = flops / effective_flops == measured.
         for s in 0..2 {
             let dt = table.fwd_flops[s] / cluster.effective_flops(s);
@@ -292,7 +324,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only 2 devices")]
     fn cost_table_rejects_traces_from_more_devices_than_the_cluster() {
         // A DP-merged trace runs stages on global ranks ≥ P; converting
         // its timings through a P-device cluster must fail loudly, not
@@ -302,7 +333,10 @@ mod tests {
             e.device += 2;
         }
         let c = calibrate(&t, 2).unwrap();
-        c.cost_table(&CostTable::build(&ModelConfig::bert64(), 2, 1), &fc_full_nvlink(2));
+        let err = c
+            .cost_table(&CostTable::build(&ModelConfig::bert64(), 2, 1), &fc_full_nvlink(2))
+            .unwrap_err();
+        assert_eq!(err, CalibrateError::DeviceOutOfRange { device: 2, cluster: 2 });
     }
 
     #[test]

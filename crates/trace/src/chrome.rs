@@ -69,8 +69,11 @@ pub fn chrome_events(trace: &Trace) -> Vec<ChromeEvent> {
 
 /// Serialize a trace as Chrome `trace_event` JSON (array format). Load
 /// the output in <https://ui.perfetto.dev> or `chrome://tracing`.
-pub fn chrome_trace_json(trace: &Trace) -> String {
-    serde_json::to_string(&chrome_events(trace)).expect("chrome events always serialize")
+/// Serialization of this flat event array cannot fail in practice; the
+/// `Result` keeps the export path panic-free regardless.
+pub fn chrome_trace_json(trace: &Trace) -> Result<String, String> {
+    serde_json::to_string(&chrome_events(trace))
+        .map_err(|e| format!("chrome trace serialization: {e}"))
 }
 
 /// Parse a Chrome-trace JSON export back and verify what every viewer
@@ -126,7 +129,7 @@ mod tests {
 
     #[test]
     fn export_has_required_fields_and_validates() {
-        let json = chrome_trace_json(&sample());
+        let json = chrome_trace_json(&sample()).unwrap();
         assert_eq!(validate_chrome_json(&json).unwrap(), 2);
         for field in ["\"ph\"", "\"ts\"", "\"dur\"", "\"pid\"", "\"tid\""] {
             assert!(json.contains(field), "missing {field} in {json}");

@@ -51,7 +51,9 @@ fn main() {
 
     // 3. Predict: drive the simulator with the calibrated table.
     let cluster = fc_full_nvlink(p as usize);
-    let table = cal.cost_table(&micro_cost_table(&stages, 64, 96, Recompute::None), &cluster);
+    let table = cal
+        .cost_table(&micro_cost_table(&stages, 64, 96, Recompute::None), &cluster)
+        .expect("calibration covers the traced stages");
     let report = simulate(&schedule, &table, &cluster, SimOptions::default());
     let rel = (report.iteration_time - a.duration).abs() / a.duration;
     println!(

@@ -14,6 +14,10 @@
 //! * [`model`] — BERT/GPT cost & memory models and CPU micro-models.
 //! * [`cluster`] — the four evaluation clusters (PC, FC, TACC, TC).
 //! * [`sim`] — the discrete-event execution engine and `D×P` plans.
+//! * [`analyze`] — static schedule verification: the happens-before DAG,
+//!   deadlock freedom via cycle detection, exact static peak-memory
+//!   bounds, communication well-formedness, and the critical-path lower
+//!   bound the tuner prunes with.
 //! * [`runtime`] — the threaded action-list runtime with bit-exact
 //!   gradient equivalence.
 //! * [`trace`] — unified execution tracing for both engines: one event
@@ -45,6 +49,7 @@
 //! assert!(report.bubble_ratio < 0.3);
 //! ```
 
+pub use hanayo_analyze as analyze;
 pub use hanayo_ckpt as ckpt;
 pub use hanayo_cluster as cluster;
 pub use hanayo_core as core;

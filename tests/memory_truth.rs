@@ -1,6 +1,6 @@
-//! The memory-truth contract: the three memory models agree *exactly*.
+//! The memory-truth contract: the four memory models agree *exactly*.
 //!
-//! For every golden scheme at `(P=8, M=8)` and both recompute modes, three
+//! For every golden scheme at `(P=8, M=8)` and both recompute modes, four
 //! independent accountings of activation memory are pinned against each
 //! other:
 //!
@@ -10,14 +10,19 @@
 //!    stash bytes are *probed from the same micro-model stages*
 //!    (`micro_cost_table`); its `peak_mem − weight_mem` must equal the
 //!    runtime's measurement byte for byte.
-//! 3. **Unit replay (abstract)** — `core::memory::unit_profile_with` in
+//! 3. **Static analysis (proved)** — `analyze::static_stash_peak`, the
+//!    activation-liveness replay over the schedule that never executes
+//!    anything; exactly equal to 2 in integer bytes (the claim that lets
+//!    the tuner reject OOM plans without simulating).
+//! 4. **Unit replay (abstract)** — `core::memory::unit_profile_with` in
 //!    Fig. 3 units, converted to bytes through the size of one activation
 //!    unit.
 //!
-//! Agreement is exact (integer bytes) between 1 and 2, and within float
-//! rounding for 3. Chimera-native replicates stages, which the runtime
-//! deliberately rejects, so its row checks 2 vs 3 only.
+//! Agreement is exact (integer bytes) between 1, 2 and 3, and within
+//! float rounding for 4. Chimera-native replicates stages, which the
+//! runtime deliberately rejects, so its row checks 2 vs 3 vs 4 only.
 
+use hanayo::analyze::static_stash_peak;
 use hanayo::cluster::topology::fc_full_nvlink;
 use hanayo::core::config::{PipelineConfig, Scheme};
 use hanayo::core::memory::unit_profile_with;
@@ -53,6 +58,8 @@ fn golden_schemes() -> Vec<(&'static str, Scheme, bool)> {
 struct Truth {
     /// Simulator per-device peak stash bytes (`peak_mem − weight_mem`).
     sim_stash: Vec<u64>,
+    /// Static-analyzer per-device peak stash bytes — proven, not run.
+    static_stash: Vec<u64>,
     /// Runtime measured per-device peak stash bytes (`None` for schemes
     /// the runtime cannot train).
     runtime_stash: Option<Vec<usize>>,
@@ -73,6 +80,9 @@ fn measure(scheme: Scheme, runnable: bool, mode: Recompute) -> Truth {
     let report = simulate(&schedule, &cost, &fc_full_nvlink(P as usize), SimOptions::default());
     let sim_stash: Vec<u64> =
         report.peak_mem.iter().zip(&report.weight_mem).map(|(p, w)| p - w).collect();
+
+    // Static analysis: the same number, proved from the schedule alone.
+    let static_stash = static_stash_peak(&schedule, &cost);
 
     // Runtime: train one iteration and read the live-bytes peaks.
     let runtime_stash = runnable.then(|| {
@@ -96,7 +106,7 @@ fn measure(scheme: Scheme, runnable: bool, mode: Recompute) -> Truth {
     let prof = unit_profile_with(&cs, stash_units);
     let replay_stash: Vec<f64> = prof.ma_peak_units.iter().map(|u| u * unit_bytes).collect();
 
-    Truth { sim_stash, runtime_stash, replay_stash }
+    Truth { sim_stash, static_stash, runtime_stash, replay_stash }
 }
 
 #[test]
@@ -104,6 +114,12 @@ fn runtime_simulator_and_unit_replay_agree_on_every_golden_scheme() {
     for (name, scheme, runnable) in golden_schemes() {
         for mode in Recompute::ALL {
             let t = measure(scheme, runnable, mode);
+            // Proved == modelled, exactly, device by device: the static
+            // replay is the simulator's accounting, not an upper bound.
+            assert_eq!(
+                t.static_stash, t.sim_stash,
+                "{name}/{mode}: static analyzer diverges from the simulator"
+            );
             if let Some(measured) = &t.runtime_stash {
                 // Measured == modelled, exactly, device by device.
                 for (d, (&m, &s)) in measured.iter().zip(&t.sim_stash).enumerate() {

@@ -82,7 +82,7 @@ fn check_native(name: &str, scheme: Scheme) {
     let ckpt = failed.checkpoint.expect("durable checkpoint");
     assert_eq!(ckpt.iteration, KILL_AT, "{name}: checkpoint at the last completed boundary");
 
-    let restored = Checkpoint::from_json(&ckpt.to_json()).expect("valid envelope");
+    let restored = Checkpoint::from_json(&ckpt.to_json().unwrap()).expect("valid envelope");
     let resumed =
         resume(&TrainerConfig { failure: FailurePlan::None, ..armed }, &restored, &data).unwrap();
     assert_bitwise_equal(name, &uninterrupted, &resumed);
@@ -116,7 +116,7 @@ fn check_chimera_wave() {
     assert_eq!(ckpt.world, 2);
     assert_eq!(ckpt.peak_stash_bytes.len(), P as usize, "peaks cover all global devices");
 
-    let restored = Checkpoint::from_json(&ckpt.to_json()).expect("valid envelope");
+    let restored = Checkpoint::from_json(&ckpt.to_json().unwrap()).expect("valid envelope");
     let resumed = resume_data_parallel(
         &TrainerConfig { failure: FailurePlan::None, ..armed },
         &restored,

@@ -75,7 +75,7 @@ fn sim_trace_makespan_equals_report_exactly_on_every_golden_scheme() {
             report.bubble_ratio
         );
         // The Chrome export of every golden trace is loadable.
-        let json = chrome_trace_json(&trace);
+        let json = chrome_trace_json(&trace).unwrap();
         assert_eq!(validate_chrome_json(&json).unwrap(), trace.events.len(), "{name}");
     }
 }
@@ -120,7 +120,7 @@ fn calibrated_sim_predicts_the_measured_runtime_makespan() {
         let cal = calibrate(&trace, cfg.stages() as usize).expect("full coverage");
         assert!(cal.fwd_samples.iter().all(|&n| n == b as usize), "{:?}", cal.fwd_samples);
         let bytes = micro_cost_table(&stages, 16, 64, Recompute::None);
-        let table = cal.cost_table(&bytes, &cluster);
+        let table = cal.cost_table(&bytes, &cluster).unwrap();
 
         let report = simulate(&schedule, &table, &cluster, SimOptions::default());
         let predicted = report.iteration_time;
@@ -139,7 +139,7 @@ fn calibrated_sim_predicts_the_measured_runtime_makespan() {
 #[test]
 fn runtime_trace_exports_valid_chrome_json() {
     let (trace, _) = traced_run(2, 4, Scheme::Hanayo { waves: 1 });
-    let json = chrome_trace_json(&trace);
+    let json = chrome_trace_json(&trace).unwrap();
     assert_eq!(validate_chrome_json(&json).unwrap(), trace.events.len());
     // And the trace itself serde-round-trips exactly.
     let back: Trace = hanayo::trace::Trace::clone(&trace);
