@@ -1,0 +1,389 @@
+//! The repo's speed-trajectory harness.
+//!
+//! Measures **before/after median wall times** for the three tracked
+//! workload families and maintains the `BENCH_*.json` trajectory files at
+//! the repository root:
+//!
+//! | file               | workloads                                        |
+//! |--------------------|--------------------------------------------------|
+//! | `BENCH_GEMM.json`  | raw gemm kernels, plain and fused-transposed     |
+//! | `BENCH_SWEEP.json` | the full `sweep --wide` tuner invocation         |
+//! | `BENCH_TRAIN.json` | threaded P=8/M=8 training, one run per golden scheme |
+//!
+//! "Before" re-runs the *same* code with the seed-equivalent slow path
+//! selected — `set_reference_kernels(true)` for gemm/training (the frozen
+//! scalar kernels plus transpose materialisation), `TuneOptions::batched =
+//! false` for the sweep (per-candidate lowering, no cross-candidate
+//! sharing) — so both sides measure identical semantics; every fast path
+//! is bitwise identical to its slow path by construction and by test.
+//!
+//! Flags:
+//!   --quick            smaller reps/workloads (CI smoke)
+//!   --only <family>    run just one of gemm | sweep | train
+//!   --record <label>   append a trajectory entry to each BENCH file
+//!   --guard            compare against the last recorded entry; exit 1 if
+//!                      any workload's "after" regressed beyond 3x (the
+//!                      criterion shim is print-only and cannot fail a
+//!                      build, so the regression guard lives here)
+//!   --validate         parse + schema-check the BENCH files, run nothing
+
+use hanayo_cluster::topology::lonestar6;
+use hanayo_core::config::{PipelineConfig, Scheme};
+use hanayo_core::schedule::build_schedule;
+use hanayo_model::builders::MicroModel;
+use hanayo_model::ModelConfig;
+use hanayo_runtime::trainer::{synthetic_data, train, TrainerConfig};
+use hanayo_runtime::LossKind;
+use hanayo_sim::{tune, TuneOptions};
+use hanayo_tensor::tensor::set_reference_kernels;
+use hanayo_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SCHEMA: &str = "hanayo-bench-v1";
+const UNIT: &str = "median ns per iteration";
+/// `--guard` failure threshold: the latest "after" may not exceed the
+/// recorded "after" by more than this factor (loose enough for shared-CI
+/// noise, tight enough to catch a lost fast path, which costs 4x+).
+const GUARD_FACTOR: f64 = 3.0;
+
+#[derive(Serialize, Deserialize)]
+struct BenchFile {
+    schema: String,
+    bench: String,
+    unit: String,
+    entries: Vec<Entry>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Entry {
+    label: String,
+    unix_time_s: u64,
+    quick: bool,
+    workloads: BTreeMap<String, Workload>,
+}
+
+#[derive(Serialize, Deserialize, Clone, Copy)]
+struct Workload {
+    before_ns: u64,
+    after_ns: u64,
+    speedup: f64,
+}
+
+impl Workload {
+    fn new(before_ns: u64, after_ns: u64) -> Workload {
+        Workload { before_ns, after_ns, speedup: before_ns as f64 / after_ns.max(1) as f64 }
+    }
+}
+
+/// Median of `samples` timings, each timing `inner` calls of `f` (plus one
+/// untimed warmup), reported as ns per single call.
+fn median_ns(samples: usize, inner: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..inner.max(1) {
+                f();
+            }
+            (t.elapsed().as_nanos() as u64) / inner.max(1) as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Time `f` in both kernel modes: reference (the frozen seed gemm path,
+/// transposes materialised) first, then the fast path. The flag is always
+/// restored to fast.
+fn before_after_kernels(samples: usize, inner: usize, mut f: impl FnMut()) -> Workload {
+    set_reference_kernels(true);
+    let before = median_ns(samples, inner, &mut f);
+    set_reference_kernels(false);
+    let after = median_ns(samples, inner, &mut f);
+    Workload::new(before, after)
+}
+
+/// Deterministic dense matrix (xorshift64*), every element nonzero.
+fn dense(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1 << 24) as f32) * 2.0 - 1.0 + 0.001
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bench_gemm(quick: bool) -> BTreeMap<String, Workload> {
+    let (samples, inner) = if quick { (3, 8) } else { (7, 40) };
+    let mut out = BTreeMap::new();
+
+    let plain = [(64usize, 64usize, 64usize), (4, 4096, 4), (8, 256, 256)];
+    for (m, k, n) in plain {
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let w = before_after_kernels(samples, inner, || {
+            black_box(a.matmul(&b));
+        });
+        out.insert(format!("matmul_{m}x{k}x{n}"), w);
+    }
+
+    // Fused transposed kernels, as Stage::backward calls them: before =
+    // materialise the transpose and run the frozen kernel.
+    let a = dense(96, 64, 3);
+    let b = dense(96, 80, 4);
+    out.insert(
+        "fused_at_b_96x64_96x80".into(),
+        before_after_kernels(samples, inner, || {
+            black_box(a.matmul_at_b(&b));
+        }),
+    );
+    let a = dense(64, 96, 5);
+    let b = dense(80, 96, 6);
+    out.insert(
+        "fused_a_bt_64x96_80x96".into(),
+        before_after_kernels(samples, inner, || {
+            black_box(a.matmul_a_bt(&b));
+        }),
+    );
+    out
+}
+
+fn bench_sweep(quick: bool) -> BTreeMap<String, Workload> {
+    // The `sweep --wide` defaults: BERT-64 on 8x lonestar6, 16 global
+    // micro-batches of 1 sequence. "Before" is the seed sweep exactly as
+    // the repository shipped it: the HashMap-keyed reference engine, one
+    // full rebuild + lowering + per-group simulation per candidate.
+    // "After" is the batched sweep on the compiled engine. Both rankings
+    // are byte-identical (`tuner::tests` pins batched == per-candidate and
+    // the cross-engine suite pins the two engines), so the ratio is pure
+    // wall-clock.
+    let model = ModelConfig::bert64();
+    let cluster = lonestar6(8);
+    let (batches, samples) = if quick { (8, 3) } else { (16, 5) };
+    let wide = TuneOptions::default().wide();
+    let per_candidate = TuneOptions { batched: false, ..wide.clone() };
+
+    hanayo_sim::set_reference_engine(true);
+    let before = median_ns(samples, 1, || {
+        black_box(tune(&model, &cluster, batches, 1, &per_candidate));
+    });
+    hanayo_sim::set_reference_engine(false);
+    let after = median_ns(samples, 1, || {
+        black_box(tune(&model, &cluster, batches, 1, &wide));
+    });
+    let mut out = BTreeMap::new();
+    out.insert(format!("sweep_wide_bert64_lonestar6x8_b{batches}"), Workload::new(before, after));
+    out
+}
+
+fn scheme_tag(scheme: Scheme) -> String {
+    match scheme {
+        Scheme::GPipe => "gpipe".into(),
+        Scheme::Dapple => "dapple".into(),
+        Scheme::Interleaved { chunks } => format!("interleaved{chunks}"),
+        Scheme::Chimera => "chimera".into(),
+        Scheme::Hanayo { waves } => format!("hanayo_w{waves}"),
+        other => format!("{other:?}").to_lowercase(),
+    }
+}
+
+fn bench_train(quick: bool) -> BTreeMap<String, Workload> {
+    // The golden single-replica schemes the threaded runtime trains
+    // (native Chimera holds two weight replicas; the paper's wave
+    // transformation — and this repo's runtime — replaces it).
+    let schemes = [
+        Scheme::GPipe,
+        Scheme::Dapple,
+        Scheme::Interleaved { chunks: 2 },
+        Scheme::Interleaved { chunks: 4 },
+        Scheme::Hanayo { waves: 1 },
+        Scheme::Hanayo { waves: 2 },
+        Scheme::Hanayo { waves: 4 },
+    ];
+    // Width picks the gemm-vs-runtime balance: the paper's regime is
+    // gemm-bound, so the full run uses a width where stage matmuls
+    // dominate the threaded runtime's channel plumbing.
+    let (width, iterations, samples) = if quick { (32usize, 1usize, 3) } else { (192, 2, 5) };
+    let mut out = BTreeMap::new();
+    for scheme in schemes {
+        let cfg = PipelineConfig::new(8, 8, scheme).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let stages = schedule.stage_map.stages;
+        let model = MicroModel { width, total_blocks: stages as usize, seed: 7 };
+        let data = synthetic_data(11, iterations, 8, 4, width);
+        let trainer = TrainerConfig::new(schedule, model.build_stages(stages), 0.01, LossKind::Mse);
+        let w = before_after_kernels(samples, 1, || {
+            black_box(train(&trainer, &data));
+        });
+        out.insert(format!("train_p8_m8_w{width}_{}", scheme_tag(scheme)), w);
+    }
+    out
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+const FILES: [(&str, &str); 3] =
+    [("BENCH_GEMM.json", "gemm"), ("BENCH_SWEEP.json", "sweep"), ("BENCH_TRAIN.json", "train")];
+
+fn load(path: &Path, bench: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let file: BenchFile =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if file.schema != SCHEMA {
+        return Err(format!("{}: schema {:?}, expected {SCHEMA:?}", path.display(), file.schema));
+    }
+    if file.bench != bench {
+        return Err(format!("{}: bench {:?}, expected {bench:?}", path.display(), file.bench));
+    }
+    Ok(file)
+}
+
+fn validate_files(root: &Path) -> Result<(), String> {
+    for (name, bench) in FILES {
+        let path = root.join(name);
+        let file = load(&path, bench)?;
+        if file.entries.is_empty() {
+            return Err(format!("{name}: no trajectory entries"));
+        }
+        for entry in &file.entries {
+            if entry.workloads.is_empty() {
+                return Err(format!("{name}: entry {:?} has no workloads", entry.label));
+            }
+            for (wname, w) in &entry.workloads {
+                if w.before_ns == 0 || w.after_ns == 0 {
+                    return Err(format!("{name}: {wname}: zero timing"));
+                }
+                let expect = w.before_ns as f64 / w.after_ns as f64;
+                if (w.speedup - expect).abs() > expect * 0.02 {
+                    return Err(format!(
+                        "{name}: {wname}: speedup {} inconsistent with {}/{}",
+                        w.speedup, w.before_ns, w.after_ns
+                    ));
+                }
+            }
+        }
+        println!("ok: {name} ({} entries)", file.entries.len());
+    }
+    Ok(())
+}
+
+fn ms(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let quick = has("--quick");
+    let only = value_of("--only");
+    let root = repo_root();
+
+    if has("--validate") {
+        if let Err(e) = validate_files(&root) {
+            eprintln!("BENCH validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let run = |family: &str| only.as_deref().is_none_or(|o| o == family);
+    let mut results: Vec<(&str, &str, BTreeMap<String, Workload>)> = Vec::new();
+    if run("gemm") {
+        results.push(("BENCH_GEMM.json", "gemm", bench_gemm(quick)));
+    }
+    if run("sweep") {
+        results.push(("BENCH_SWEEP.json", "sweep", bench_sweep(quick)));
+    }
+    if run("train") {
+        results.push(("BENCH_TRAIN.json", "train", bench_train(quick)));
+    }
+
+    for (_, bench, workloads) in &results {
+        println!("== {bench} ==");
+        for (name, w) in workloads {
+            println!(
+                "  {name:<42} before {:>12}  after {:>12}  speedup {:.2}x",
+                ms(w.before_ns),
+                ms(w.after_ns),
+                w.speedup
+            );
+        }
+    }
+
+    if has("--guard") {
+        let mut failures = Vec::new();
+        for (file, bench, workloads) in &results {
+            let recorded = match load(&root.join(file), bench) {
+                Ok(f) => f,
+                Err(e) => {
+                    failures.push(format!("{file}: unreadable trajectory: {e}"));
+                    continue;
+                }
+            };
+            let Some(last) = recorded.entries.last() else {
+                failures.push(format!("{file}: empty trajectory"));
+                continue;
+            };
+            for (name, w) in workloads {
+                if let Some(base) = last.workloads.get(name) {
+                    if w.after_ns as f64 > base.after_ns as f64 * GUARD_FACTOR {
+                        failures.push(format!(
+                            "{bench}/{name}: after {} vs recorded {} (> {GUARD_FACTOR}x)",
+                            ms(w.after_ns),
+                            ms(base.after_ns)
+                        ));
+                    }
+                }
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("regression: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("guard: all workloads within {GUARD_FACTOR}x of the recorded trajectory");
+    }
+
+    if let Some(label) = value_of("--record") {
+        let unix_time_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        for (file, bench, workloads) in results {
+            let path = root.join(file);
+            let mut existing = load(&path, bench).unwrap_or_else(|_| BenchFile {
+                schema: SCHEMA.into(),
+                bench: bench.into(),
+                unit: UNIT.into(),
+                entries: Vec::new(),
+            });
+            existing.entries.push(Entry { label: label.clone(), unix_time_s, quick, workloads });
+            let json = serde_json::to_string_pretty(&existing).unwrap_or_default();
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("recorded entry {label:?} -> {}", path.display());
+        }
+    }
+}

@@ -35,9 +35,33 @@ use hanayo_core::ids::StageId;
 use hanayo_model::CostTable;
 use hanayo_trace::{Trace, TraceEvent, TraceKind};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FORCE_REFERENCE_ENGINE: AtomicBool = AtomicBool::new(false);
+
+/// Route [`try_simulate`] / [`simulate`] through the seed engine
+/// ([`crate::reference::simulate_reference`]) instead of the compiled fast
+/// path. Reports are bit-identical either way (the cross-engine suite pins
+/// this), so the switch changes wall-clock only. The `bench` harness flips
+/// it to measure honest before/after sweep medians inside one process —
+/// the simulator-side mirror of the tensor crate's
+/// `set_reference_kernels` switch for gemms. Traced runs and
+/// [`try_simulate_compiled`] always use the fast path (the reference
+/// engine predates tracing and pre-lowering). One behavioural caveat: the
+/// seed engine keeps its original assert-on-deadlock, so a malformed
+/// schedule panics under the switch where the fast path returns
+/// [`SimError::Deadlock`] — flip it only around runs known to complete.
+pub fn set_reference_engine(on: bool) {
+    FORCE_REFERENCE_ENGINE.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_reference_engine`] has routed simulations to the seed
+/// engine.
+pub fn reference_engine() -> bool {
+    FORCE_REFERENCE_ENGINE.load(Ordering::Relaxed)
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -230,6 +254,44 @@ enum Ev {
     Arrived { dst: u32, key: u32 },
 }
 
+/// Pending event, carried inline in the heap. Ordered min-first by
+/// `(t, seq)`; `seq` is unique per push, so the payload never participates
+/// in the comparison and the pop order is the exact insertion-stable time
+/// order the engine's determinism contract requires.
+struct HeapEv {
+    t: Tm,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the engine pops earliest
+        // first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// Per-slot rendezvous state, one byte per `device · tag`. A single load
+/// answers every "is the transfer ready/scheduled/arrived" question the
+/// hot loop asks; post times live in parallel `f64` arrays that are only
+/// read once the matching bit is set.
+const SLOT_SEND: u8 = 1 << 0;
+const SLOT_RECV: u8 = 1 << 1;
+const SLOT_SCHED: u8 = 1 << 2;
+const SLOT_ARRIVED: u8 = 1 << 3;
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum DevState {
     Idle,
@@ -243,7 +305,7 @@ enum DevState {
 
 /// One compiled instruction: an [`Action`] with tags resolved to flat keys
 /// and batched members flattened into side arrays.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
     Compute {
         mb: u32,
@@ -265,7 +327,7 @@ enum Op {
     Step,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BatchMember {
     recv: bool,
     peer: u32,
@@ -274,6 +336,7 @@ struct BatchMember {
 
 /// A schedule lowered for the fast path: dense tag keys, opcode lists, and
 /// the prefetch scanner's receive-group windows extracted once.
+#[derive(PartialEq, Eq)]
 struct Compiled {
     /// Dense tag-space size: `micro_batches · stages · 2`.
     ntags: usize,
@@ -382,6 +445,66 @@ fn compile(schedule: &Schedule, opts: &SimOptions) -> Compiled {
     Compiled { ntags, ops, batch_ops, prefetch, prefetch_keys }
 }
 
+/// A schedule lowered once for repeated simulation.
+///
+/// [`try_simulate`] re-lowers its schedule on every call; inside a tuner
+/// sweep the same `(schedule, lookahead options)` pair is simulated under
+/// many cost tables and sub-clusters, so the lowering is pure overhead
+/// after the first run. [`compile_schedule`] hoists it:
+///
+/// ```text
+/// let compiled = compile_schedule(&schedule, &opts);
+/// for (cost, sub) in variants {
+///     let report = try_simulate_compiled(&compiled, &schedule, cost, sub, opts)?;
+/// }
+/// ```
+///
+/// The lowering bakes in exactly two option fields — `recv_lookahead` and
+/// `lookahead_window`, which shape the prefetch windows — so one
+/// `CompiledSchedule` is valid for every `SimOptions` agreeing on those
+/// two (e.g. prefetch on/off share a lowering). [`try_simulate_compiled`]
+/// rejects a mismatched reuse with [`SimError::StaleCompile`] rather than
+/// silently simulating the wrong prefetch plan.
+pub struct CompiledSchedule {
+    inner: Compiled,
+    devices: usize,
+    recv_lookahead: usize,
+    lookahead_window: usize,
+}
+
+impl CompiledSchedule {
+    /// True when this lowering is valid for `opts`: the baked-in lookahead
+    /// parameters match. Every other option is applied at simulation time.
+    pub fn matches(&self, opts: &SimOptions) -> bool {
+        self.recv_lookahead == opts.recv_lookahead && self.lookahead_window == opts.lookahead_window
+    }
+
+    /// True when the two lowerings are semantically identical: same opcode
+    /// lists and same prefetch windows. Lookahead parameters that differ
+    /// can still converge to the same windows (the §4.2 scan saturates once
+    /// every receive group inside `lookahead_window` is collected), and the
+    /// engine consumes nothing but this content — so two runs through
+    /// lowerings that compare equal here produce bit-identical reports for
+    /// any `SimOptions` each of them [`matches`](Self::matches). The tuner
+    /// uses this to collapse lookahead ablations that lowered to the same
+    /// plan into a single simulation.
+    pub fn same_lowering(&self, other: &CompiledSchedule) -> bool {
+        self.devices == other.devices && self.inner == other.inner
+    }
+}
+
+/// Lower `schedule` once for reuse across [`try_simulate_compiled`] calls.
+/// Only `opts.recv_lookahead` / `opts.lookahead_window` are consumed here;
+/// see [`CompiledSchedule`] for the reuse contract.
+pub fn compile_schedule(schedule: &Schedule, opts: &SimOptions) -> CompiledSchedule {
+    CompiledSchedule {
+        inner: compile(schedule, opts),
+        devices: schedule.lists.len(),
+        recv_lookahead: opts.recv_lookahead,
+        lookahead_window: opts.lookahead_window,
+    }
+}
+
 struct Engine<'a> {
     compiled: &'a Compiled,
     cost: &'a CostTable,
@@ -396,19 +519,20 @@ struct Engine<'a> {
     block_start: Vec<f64>,
     finish: Vec<f64>,
 
-    /// `(src, post time)` per `device · ntags + key`.
-    send_posted: Vec<Option<(u32, f64)>>,
-    /// Post time per `device · ntags + key`.
-    recv_posted: Vec<Option<f64>>,
-    scheduled: Vec<bool>,
-    arrived: Vec<bool>,
+    /// `SLOT_*` bit set per `device · ntags + key`.
+    slot_flags: Vec<u8>,
+    /// Sender device per slot; valid once `SLOT_SEND` is set.
+    send_src: Vec<u32>,
+    /// Send post time per slot; valid once `SLOT_SEND` is set.
+    send_time: Vec<f64>,
+    /// Receive post time per slot; valid once `SLOT_RECV` is set.
+    recv_time: Vec<f64>,
     /// FIFO cursor per directed intra-node device pair (`src · p + dst`).
     intra_free: Vec<f64>,
     /// FIFO cursor per directed node pair (`src_node · nodes + dst_node`).
     inter_free: Vec<f64>,
 
-    events: BinaryHeap<Reverse<(Tm, u64, usize)>>,
-    event_pool: Vec<Ev>,
+    events: BinaryHeap<HeapEv>,
     seq: u64,
 
     busy: Vec<f64>,
@@ -432,20 +556,21 @@ impl<'a> Engine<'a> {
     }
 
     fn push_event(&mut self, t: f64, ev: Ev) {
-        self.event_pool.push(ev);
-        self.events.push(Reverse((Tm(t), self.seq, self.event_pool.len() - 1)));
+        self.events.push(HeapEv { t: Tm(t), seq: self.seq, ev });
         self.seq += 1;
     }
 
     /// Start the transfer for `(dst, key)` if both halves are posted.
     fn try_schedule(&mut self, dst: usize, key: u32) {
         let slot = self.slot(dst, key);
-        if self.scheduled[slot] {
+        // One load: bail unless both halves are posted and the transfer
+        // has not been scheduled yet.
+        if self.slot_flags[slot] & (SLOT_SEND | SLOT_RECV | SLOT_SCHED) != SLOT_SEND | SLOT_RECV {
             return;
         }
-        let Some((src, t_send)) = self.send_posted[slot] else { return };
-        let Some(t_recv) = self.recv_posted[slot] else { return };
-        let src = src as usize;
+        let src = self.send_src[slot] as usize;
+        let t_send = self.send_time[slot];
+        let t_recv = self.recv_time[slot];
         let ready = t_send.max(t_recv);
         let link = self.cluster.p2p(src, dst);
         let (na, nb) = (self.cluster.node[src], self.cluster.node[dst]);
@@ -461,7 +586,7 @@ impl<'a> Engine<'a> {
             0.0
         };
         *cursor = free + occupancy;
-        self.scheduled[slot] = true;
+        self.slot_flags[slot] |= SLOT_SCHED;
         if self.opts.trace {
             // Lower the rendezvous transfer: the send occupies the link on
             // the source; the receive spans transfer start to arrival on
@@ -496,16 +621,19 @@ impl<'a> Engine<'a> {
 
     fn post_recv(&mut self, dst: usize, key: u32, now: f64) {
         let slot = self.slot(dst, key);
-        if self.recv_posted[slot].is_none() {
-            self.recv_posted[slot] = Some(now);
+        if self.slot_flags[slot] & SLOT_RECV == 0 {
+            self.slot_flags[slot] |= SLOT_RECV;
+            self.recv_time[slot] = now;
         }
         self.try_schedule(dst, key);
     }
 
     fn post_send(&mut self, src: usize, dst: usize, key: u32, now: f64) {
         let slot = self.slot(dst, key);
-        if self.send_posted[slot].is_none() {
-            self.send_posted[slot] = Some((src as u32, now));
+        if self.slot_flags[slot] & SLOT_SEND == 0 {
+            self.slot_flags[slot] |= SLOT_SEND;
+            self.send_src[slot] = src as u32;
+            self.send_time[slot] = now;
         }
         self.try_schedule(dst, key);
     }
@@ -540,7 +668,7 @@ impl<'a> Engine<'a> {
         self.compiled.batch_ops[start as usize..end as usize]
             .iter()
             .filter(|m| m.recv)
-            .all(|m| self.arrived[d * self.compiled.ntags + m.key as usize])
+            .all(|m| self.slot_flags[d * self.compiled.ntags + m.key as usize] & SLOT_ARRIVED != 0)
     }
 
     /// Run device `d` forward from its program counter until it blocks,
@@ -566,7 +694,7 @@ impl<'a> Engine<'a> {
                 }
                 Op::Recv { key } => {
                     self.post_recv(d, key, now);
-                    if self.arrived[self.slot(d, key)] {
+                    if self.slot_flags[self.slot(d, key)] & SLOT_ARRIVED != 0 {
                         self.pc[d] += 1;
                     } else {
                         self.state[d] = DevState::WaitRecv(key);
@@ -640,7 +768,7 @@ impl<'a> Engine<'a> {
             Ev::Arrived { dst, key } => {
                 let dst = dst as usize;
                 let slot = self.slot(dst, key);
-                self.arrived[slot] = true;
+                self.slot_flags[slot] |= SLOT_ARRIVED;
                 match self.state[dst] {
                     DevState::WaitRecv(w) if w == key => {
                         self.comm_wait[dst] += t - self.block_start[dst];
@@ -691,6 +819,15 @@ pub enum SimError {
         /// Devices that never reached `Done`, with their program counters.
         stalled: Vec<(usize, usize)>,
     },
+    /// A [`CompiledSchedule`] was reused with options it was not lowered
+    /// for (the prefetch windows bake in the lookahead parameters) or with
+    /// a different schedule.
+    StaleCompile {
+        /// `(recv_lookahead, lookahead_window)` the lowering baked in.
+        compiled: (usize, usize),
+        /// `(recv_lookahead, lookahead_window)` requested at simulation.
+        requested: (usize, usize),
+    },
 }
 
 impl fmt::Display for SimError {
@@ -705,6 +842,13 @@ impl fmt::Display for SimError {
             SimError::Numerics(e) => write!(f, "invalid simulation inputs: {e}"),
             SimError::Deadlock { stalled } => {
                 write!(f, "simulation deadlocked: stalled (device, pc) pairs {stalled:?}")
+            }
+            SimError::StaleCompile { compiled, requested } => {
+                write!(
+                    f,
+                    "compiled schedule was lowered for (recv_lookahead, lookahead_window) = \
+                     {compiled:?} but simulation requested {requested:?}"
+                )
             }
         }
     }
@@ -766,6 +910,47 @@ pub fn try_simulate_traced(
     cluster: &ClusterSpec,
     opts: SimOptions,
 ) -> Result<(SimReport, Option<Trace>), SimError> {
+    check_shapes(schedule, cost, cluster)?;
+    validate_numerics(cost, cluster, &opts)?;
+    if reference_engine() && !opts.trace {
+        // Seed-engine detour for honest benchmarking; bit-identical
+        // reports, different wall-clock. The reference engine cannot
+        // trace, so traced runs stay on the fast path.
+        return Ok((crate::reference::simulate_reference(schedule, cost, cluster, opts), None));
+    }
+    let compiled = compile(schedule, &opts);
+    run_compiled(&compiled, schedule, cost, cluster, opts)
+}
+
+/// [`try_simulate`] against a pre-lowered schedule: skips the per-call
+/// [`compile_schedule`] work. The report is bit-identical to
+/// [`try_simulate`] with the same inputs — the lowering is a pure function
+/// of `(schedule, lookahead options)`, so hoisting it cannot perturb a
+/// single event time. `schedule` must be the exact schedule `compiled` was
+/// lowered from and `opts` must [`CompiledSchedule::matches`] it.
+pub fn try_simulate_compiled(
+    compiled: &CompiledSchedule,
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<SimReport, SimError> {
+    if !compiled.matches(&opts) || compiled.devices != schedule.lists.len() {
+        return Err(SimError::StaleCompile {
+            compiled: (compiled.recv_lookahead, compiled.lookahead_window),
+            requested: (opts.recv_lookahead, opts.lookahead_window),
+        });
+    }
+    check_shapes(schedule, cost, cluster)?;
+    validate_numerics(cost, cluster, &opts)?;
+    run_compiled(&compiled.inner, schedule, cost, cluster, opts).map(|(report, _)| report)
+}
+
+fn check_shapes(
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+) -> Result<(), SimError> {
     let p = schedule.lists.len();
     if cluster.len() != p {
         return Err(SimError::DeviceCountMismatch { schedule: p, cluster: cluster.len() });
@@ -776,15 +961,24 @@ pub fn try_simulate_traced(
             cost: cost.stages(),
         });
     }
-    validate_numerics(cost, cluster, &opts)?;
+    Ok(())
+}
 
+/// Event-loop body shared by the per-call and pre-compiled entries.
+fn run_compiled(
+    compiled: &Compiled,
+    schedule: &Schedule,
+    cost: &CostTable,
+    cluster: &ClusterSpec,
+    opts: SimOptions,
+) -> Result<(SimReport, Option<Trace>), SimError> {
+    let p = schedule.lists.len();
     let (weight_mem, grad_mem) = static_device_mem(schedule, cost);
-    let compiled = compile(schedule, &opts);
     let nodes = cluster.node.iter().copied().max().unwrap_or(0) as usize + 1;
     let slots = p * compiled.ntags;
 
     let mut eng = Engine {
-        compiled: &compiled,
+        compiled,
         cost,
         cluster,
         opts,
@@ -794,14 +988,13 @@ pub fn try_simulate_traced(
         state: vec![DevState::Idle; p],
         block_start: vec![0.0; p],
         finish: vec![0.0; p],
-        send_posted: vec![None; slots],
-        recv_posted: vec![None; slots],
-        scheduled: vec![false; slots],
-        arrived: vec![false; slots],
+        slot_flags: vec![0; slots],
+        send_src: vec![0; slots],
+        send_time: vec![0.0; slots],
+        recv_time: vec![0.0; slots],
         intra_free: vec![0.0; p * p],
         inter_free: vec![0.0; nodes * nodes],
-        events: BinaryHeap::new(),
-        event_pool: Vec::new(),
+        events: BinaryHeap::with_capacity(4 * p.max(16)),
         seq: 0,
         busy: vec![0.0; p],
         comm_wait: vec![0.0; p],
@@ -815,8 +1008,7 @@ pub fn try_simulate_traced(
     for d in 0..p {
         eng.advance(d, 0.0);
     }
-    while let Some(Reverse((Tm(t), _, idx))) = eng.events.pop() {
-        let ev = eng.event_pool[idx];
+    while let Some(HeapEv { t: Tm(t), ev, .. }) = eng.events.pop() {
         eng.handle(t, ev);
     }
     if !eng.state.iter().all(|s| *s == DevState::Done) {
@@ -872,6 +1064,51 @@ mod tests {
         let schedule = build_schedule(&cfg).unwrap();
         let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
         simulate(&schedule, &cost, cluster, opts)
+    }
+
+    #[test]
+    fn precompiled_simulation_is_bit_identical_and_rejects_stale_reuse() {
+        let cfg = PipelineConfig::new(4, 8, Scheme::Hanayo { waves: 2 }).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+        let cluster = fc_full_nvlink(4);
+        let opts = SimOptions::default();
+        let compiled = compile_schedule(&schedule, &opts);
+        let direct = try_simulate(&schedule, &cost, &cluster, opts).unwrap();
+        let pre = try_simulate_compiled(&compiled, &schedule, &cost, &cluster, opts).unwrap();
+        assert_eq!(direct, pre, "hoisting the lowering must not perturb a single event");
+        // Prefetch is applied at simulation time, so the ablation shares
+        // the lowering...
+        let ablated = SimOptions { prefetch: false, ..opts };
+        assert!(compiled.matches(&ablated));
+        assert_eq!(
+            try_simulate_compiled(&compiled, &schedule, &cost, &cluster, ablated).unwrap(),
+            try_simulate(&schedule, &cost, &cluster, ablated).unwrap(),
+        );
+        // ...while a different lookahead is baked into the prefetch
+        // windows and must be rejected, not silently mis-simulated.
+        let stale = SimOptions { recv_lookahead: opts.recv_lookahead + 1, ..opts };
+        assert!(!compiled.matches(&stale));
+        assert!(matches!(
+            try_simulate_compiled(&compiled, &schedule, &cost, &cluster, stale),
+            Err(SimError::StaleCompile { .. })
+        ));
+    }
+
+    #[test]
+    fn reference_engine_switch_is_bit_identical_and_restores() {
+        let cfg = PipelineConfig::new(4, 8, Scheme::Hanayo { waves: 2 }).unwrap();
+        let schedule = build_schedule(&cfg).unwrap();
+        let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+        let cluster = lonestar6(4);
+        let opts = SimOptions::default();
+        let fast = try_simulate(&schedule, &cost, &cluster, opts).unwrap();
+        set_reference_engine(true);
+        assert!(reference_engine());
+        let seed = try_simulate(&schedule, &cost, &cluster, opts).unwrap();
+        set_reference_engine(false);
+        assert_eq!(fast, seed, "the engine switch must not perturb a single report bit");
+        assert!(!reference_engine());
     }
 
     #[test]

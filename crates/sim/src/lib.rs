@@ -36,8 +36,9 @@ pub mod search;
 pub mod tuner;
 
 pub use engine::{
-    simulate, simulate_traced, try_simulate, try_simulate_traced, validate_numerics, NumericsError,
-    SimError, SimOptions,
+    compile_schedule, reference_engine, set_reference_engine, simulate, simulate_traced,
+    try_simulate, try_simulate_compiled, try_simulate_traced, validate_numerics, CompiledSchedule,
+    NumericsError, SimError, SimOptions,
 };
 pub use plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 pub use reference::simulate_reference;

@@ -32,8 +32,11 @@
 //! corrupt numerics). The sweep binary (`cargo run -p hanayo-repro --bin
 //! sweep`) emits both tables as JSON.
 
-use crate::engine::{validate_numerics, SimOptions};
-use crate::plan::{evaluate_plan, evaluate_resolved, resolve, Method, ParallelPlan, PlanResult};
+use crate::engine::{compile_schedule, validate_numerics, CompiledSchedule, SimOptions};
+use crate::plan::{
+    evaluate_plan, evaluate_resolved_with, resolve, GroupReportMemo, Method, ParallelPlan,
+    PlanResult, SimReuse,
+};
 use crate::search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
 use hanayo_analyze::{check_deadlock_free, static_peak_mem};
 use hanayo_ckpt::recovery;
@@ -46,7 +49,7 @@ use hanayo_model::{CostTable, ModelConfig, Recompute};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One evaluated candidate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -204,6 +207,18 @@ pub struct TuneOptions {
     /// defaults to on. Turn it off to benchmark the saving or to force
     /// every candidate through the engine.
     pub static_prune: bool,
+    /// Share pure artifacts across the candidates of one sweep: built
+    /// schedules, cost tables, static memory replays, lowered
+    /// ([`crate::engine::compile_schedule`]) programs, and per-group
+    /// simulation reports. A wide sweep ablates sim options and recompute
+    /// modes around a handful of distinct pipeline shapes, so most
+    /// candidates re-derive artifacts an earlier candidate already built;
+    /// batching builds each exactly once. Every shared value is a pure
+    /// function of its cache key, so the ranking and every rejection
+    /// record stay *byte-identical* with batching on or off (a test pins
+    /// this, parallel and serial). Defaults to on; turn off to benchmark
+    /// the saving or to force per-candidate lowering.
+    pub batched: bool,
 }
 
 impl Default for TuneOptions {
@@ -221,6 +236,7 @@ impl Default for TuneOptions {
             recovery: RecoveryOptions::default(),
             schedule_search: None,
             static_prune: true,
+            batched: true,
         }
     }
 }
@@ -465,15 +481,175 @@ enum Outcome {
 /// ranking regardless of worker interleaving.
 type DeadlockCache = Mutex<HashMap<(Scheme, u32, u32), bool>>;
 
+/// Cache key of a built schedule: the only inputs schedule lowering takes.
+type SchedKey = (Scheme, u32, u32);
+/// Cache key of a cost table (the model is fixed per sweep):
+/// `(stages, micro_batch_size, recompute)`.
+type CostKey = (u32, u32, Recompute);
+/// Hashable image of everything a group simulation's *report* can depend
+/// on beyond `(schedule, cost, sub-cluster)`: the prefetch switch, the
+/// *content* of the prefetch windows (not the lookahead parameters that
+/// produced them — distinct lookaheads whose §4.2 scans saturate to the
+/// same windows drive the engine identically, and with prefetching off the
+/// windows are never read at all, so the id is pinned to 0), the
+/// all-reduce overlap via its bit pattern, and the trace switch (kept out
+/// of caution even though traced reports are pinned bit-identical).
+type ReportKey = (bool, u32, u64, bool);
+
+fn report_key(sim: &SimOptions, content_id: u32) -> ReportKey {
+    let windows = if sim.prefetch { content_id } else { 0 };
+    (sim.prefetch, windows, sim.allreduce_overlap.to_bits(), sim.trace)
+}
+
+/// Static per-device memory replays, keyed by (schedule, cost) pair.
+type PeakCache = Mutex<HashMap<(SchedKey, CostKey), Arc<Vec<u64>>>>;
+
+/// A cached engine lowering plus its content id (see
+/// [`SweepCaches::compiled`]).
+type CompiledEntry = (Arc<CompiledSchedule>, u32);
+
+/// Cross-candidate artifact caches for one sweep ([`TuneOptions::batched`]).
+///
+/// The wide sweep's axes (sim-option ablations, recompute modes,
+/// micro-batch merges) multiply a handful of distinct pipeline shapes into
+/// hundreds of candidates; per candidate, the seed path re-built the
+/// schedule, the cost table, the static memory replay, the engine lowering
+/// and — for every data-parallel clone of a shape — the group simulation
+/// itself. Each cache below is keyed by the *complete* set of inputs its
+/// artifact is a pure function of, so a hit returns byte-for-byte what the
+/// miss path would have computed and worker interleaving (which thread
+/// populates an entry first) cannot perturb the ranking. A poisoned lock
+/// degrades to rebuilding, never to a wrong or missing result.
+#[derive(Default)]
+struct SweepCaches {
+    /// Built schedules.
+    schedules: Mutex<HashMap<SchedKey, Arc<Schedule>>>,
+    /// Cost tables.
+    costs: Mutex<HashMap<CostKey, Arc<CostTable>>>,
+    /// Static per-device memory replays (group-local peaks).
+    peaks: PeakCache,
+    /// Engine lowerings, additionally keyed by the two lookahead
+    /// parameters [`compile_schedule`] bakes in. The `u32` is the
+    /// lowering's *content id*: lookahead variants of the same schedule
+    /// whose prefetch scans saturated to identical windows
+    /// ([`CompiledSchedule::same_lowering`]) share one id, which is what
+    /// lets their simulations collapse into a single [`GroupReportMemo`]
+    /// entry.
+    compiled: Mutex<HashMap<(SchedKey, usize, usize), CompiledEntry>>,
+    /// Collision-free ids for `(schedule, cost, report inputs)` triples;
+    /// [`GroupReportMemo`] entries are keyed on them.
+    report_ids: Mutex<HashMap<(SchedKey, CostKey, ReportKey), u64>>,
+    /// Pipeline-group reports, shared with
+    /// [`crate::plan::evaluate_resolved_with`].
+    reports: GroupReportMemo,
+}
+
+impl SweepCaches {
+    fn schedule_for(&self, key: SchedKey, cfg: &PipelineConfig) -> Option<Arc<Schedule>> {
+        if let Some(hit) = self.schedules.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            return Some(hit);
+        }
+        let built = Arc::new(build_schedule(cfg).ok()?);
+        if let Ok(mut m) = self.schedules.lock() {
+            m.entry(key).or_insert_with(|| built.clone());
+        }
+        Some(built)
+    }
+
+    fn cost_for(&self, key: CostKey, model: &ModelConfig) -> Arc<CostTable> {
+        if let Some(hit) = self.costs.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            return hit;
+        }
+        let (stages, micro_batch_size, recompute) = key;
+        let built = Arc::new(CostTable::build_with(model, stages, micro_batch_size, recompute));
+        if let Ok(mut m) = self.costs.lock() {
+            m.entry(key).or_insert_with(|| built.clone());
+        }
+        built
+    }
+
+    fn peaks_for(
+        &self,
+        key: (SchedKey, CostKey),
+        schedule: &Schedule,
+        cost: &CostTable,
+    ) -> Arc<Vec<u64>> {
+        if let Some(hit) = self.peaks.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            return hit;
+        }
+        let built = Arc::new(static_peak_mem(schedule, cost));
+        if let Ok(mut m) = self.peaks.lock() {
+            m.entry(key).or_insert_with(|| built.clone());
+        }
+        built
+    }
+
+    /// The lowering for `(key, lookaheads)` plus its content id. A fresh
+    /// lowering is first compared against the other lookahead variants of
+    /// the *same* schedule: if the scans saturated to identical windows it
+    /// adopts their content id (ids are scoped per [`SchedKey`] by every
+    /// consumer, so ids from different schedules may coincide freely).
+    fn compiled_for(
+        &self,
+        key: SchedKey,
+        schedule: &Schedule,
+        sim: &SimOptions,
+    ) -> (Arc<CompiledSchedule>, u32) {
+        let full = (key, sim.recv_lookahead, sim.lookahead_window);
+        if let Some(hit) = self.compiled.lock().ok().and_then(|m| m.get(&full).cloned()) {
+            return hit;
+        }
+        let built = Arc::new(compile_schedule(schedule, sim));
+        if let Ok(mut m) = self.compiled.lock() {
+            let fresh = m.len() as u32;
+            let content = m
+                .iter()
+                .find(|((k, _, _), (other, _))| *k == key && other.same_lowering(&built))
+                .map(|(_, (_, id))| *id)
+                .unwrap_or(fresh);
+            return m.entry(full).or_insert((built, content)).clone();
+        }
+        // Poisoned lock: fall back to a private lowering with an id no
+        // cached entry can share, so a memo collision is impossible.
+        (built, u32::MAX)
+    }
+
+    /// The [`GroupReportMemo`] id for this artifact triple: first caller
+    /// allocates, later callers agree. Ids are assigned by a map (not a
+    /// hash), so distinct triples can never share a memo slot.
+    fn report_id(
+        &self,
+        schedule_key: SchedKey,
+        cost_key: CostKey,
+        sim: &SimOptions,
+        content_id: u32,
+    ) -> Option<u64> {
+        if content_id == u32::MAX {
+            return None;
+        }
+        let mut ids = self.report_ids.lock().ok()?;
+        let next = ids.len() as u64;
+        Some(*ids.entry((schedule_key, cost_key, report_key(sim, content_id))).or_insert(next))
+    }
+}
+
 /// What the static pre-pass decided about one plan.
 enum StaticVerdict {
     /// Statically proven OOM on a deadlock-free schedule: skip the
     /// simulation and record this rejection.
     Reject(Rejection),
     /// Every static check passed. The built schedule and cost table are
-    /// handed to [`evaluate_resolved`] so a surviving plan is not
-    /// re-lowered from scratch — `shape` is `(pp_eff, dp_eff, b_eff)`.
-    Pass { shape: (u32, u32, u32), schedule: Schedule, cost: CostTable },
+    /// handed to [`evaluate_resolved_with`] so a surviving plan is not
+    /// re-lowered from scratch — `shape` is `(pp_eff, dp_eff, b_eff)`;
+    /// the cache keys travel along so the simulation stage can reach the
+    /// sweep-wide lowering and report caches.
+    Pass {
+        shape: (u32, u32, u32),
+        schedule_key: SchedKey,
+        cost_key: CostKey,
+        schedule: Arc<Schedule>,
+        cost: Arc<CostTable>,
+    },
     /// Some pre-simulation step failed; the normal [`evaluate_plan`] path
     /// re-runs it and produces the identical error record.
     Undecided,
@@ -495,6 +671,7 @@ fn static_verdict(
     plan: &ParallelPlan,
     sim: SimOptions,
     dl_cache: &DeadlockCache,
+    caches: Option<&SweepCaches>,
 ) -> StaticVerdict {
     let needed = plan.dp * plan.pp;
     if needed as usize > cluster.len() {
@@ -508,10 +685,27 @@ fn static_verdict(
     let Ok(cfg) = PipelineConfig::new(pp_eff, b_eff, scheme) else {
         return StaticVerdict::Undecided;
     };
-    let Ok(schedule) = build_schedule(&cfg) else {
-        return StaticVerdict::Undecided;
+    let schedule_key: SchedKey = (scheme, pp_eff, b_eff);
+    let schedule = match caches {
+        Some(c) => match c.schedule_for(schedule_key, &cfg) {
+            Some(s) => s,
+            None => return StaticVerdict::Undecided,
+        },
+        None => match build_schedule(&cfg) {
+            Ok(s) => Arc::new(s),
+            Err(_) => return StaticVerdict::Undecided,
+        },
     };
-    let cost = CostTable::build_with(model, cfg.stages(), plan.micro_batch_size, plan.recompute);
+    let cost_key: CostKey = (cfg.stages(), plan.micro_batch_size, plan.recompute);
+    let cost = match caches {
+        Some(c) => c.cost_for(cost_key, model),
+        None => Arc::new(CostTable::build_with(
+            model,
+            cfg.stages(),
+            plan.micro_batch_size,
+            plan.recompute,
+        )),
+    };
     if validate_numerics(&cost, cluster, &sim).is_err() {
         return StaticVerdict::Undecided;
     }
@@ -520,7 +714,10 @@ fn static_verdict(
     // broadcast over the groups the way evaluate_plan merges group
     // reports (memory is schedule-order-determined, so every group peaks
     // identically; devices outside the plan stay at zero).
-    let group_peak = static_peak_mem(&schedule, &cost);
+    let group_peak = match caches {
+        Some(c) => c.peaks_for((schedule_key, cost_key), &schedule, &cost),
+        None => Arc::new(static_peak_mem(&schedule, &cost)),
+    };
     let mut peak_mem = vec![0u64; cluster.len()];
     for g in 0..dp_eff as usize {
         for (r, &peak) in group_peak.iter().enumerate().take(pp_eff as usize) {
@@ -530,7 +727,13 @@ fn static_verdict(
     let oom_devices: Vec<usize> =
         (0..cluster.len()).filter(|&d| peak_mem[d] > cluster.memory(d)).collect();
     if oom_devices.is_empty() {
-        return StaticVerdict::Pass { shape: (pp_eff, dp_eff, b_eff), schedule, cost };
+        return StaticVerdict::Pass {
+            shape: (pp_eff, dp_eff, b_eff),
+            schedule_key,
+            cost_key,
+            schedule,
+            cost,
+        };
     }
     // Only now pay for the happens-before DAG: a prune fires only when
     // the analyzer also proves the schedule deadlock-free, so the
@@ -660,19 +863,31 @@ fn evaluate_candidate(
     cluster: &ClusterSpec,
     opts: &TuneOptions,
     dl_cache: &DeadlockCache,
+    caches: Option<&SweepCaches>,
     (plan, sim, shape_reason): &(ParallelPlan, SimOptions, Option<String>),
 ) -> (ParallelPlan, SimOptions, Outcome) {
     if let Some(reason) = shape_reason {
         return (*plan, *sim, Outcome::Shape(reason.clone()));
     }
     if opts.static_prune {
-        match static_verdict(model, cluster, plan, *sim, dl_cache) {
+        match static_verdict(model, cluster, plan, *sim, dl_cache, caches) {
             StaticVerdict::Reject(rejection) => {
                 return (*plan, *sim, Outcome::StaticOom(rejection));
             }
-            StaticVerdict::Pass { shape, schedule, cost } => {
-                let outcome = match evaluate_resolved(plan, cluster, *sim, shape, &schedule, &cost)
-                {
+            StaticVerdict::Pass { shape, schedule_key, cost_key, schedule, cost } => {
+                let compiled = caches.map(|c| c.compiled_for(schedule_key, &schedule, sim));
+                let reuse = SimReuse {
+                    compiled: compiled.as_ref().map(|(c, _)| &**c),
+                    memo: caches.and_then(|c| {
+                        let content_id = compiled.as_ref().map_or(u32::MAX, |(_, id)| *id);
+                        c.report_id(schedule_key, cost_key, sim, content_id)
+                            .map(|id| (&c.reports, id))
+                    }),
+                    dedup_groups: caches.is_some(),
+                };
+                let outcome = match evaluate_resolved_with(
+                    plan, cluster, *sim, shape, &schedule, &cost, reuse,
+                ) {
                     Ok(result) => Outcome::Simulated(result),
                     Err(e) => Outcome::Shape(e.to_string()),
                 };
@@ -704,9 +919,10 @@ pub fn tune(
 ) -> Tuning {
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let dl_cache = DeadlockCache::default();
+    let caches = opts.batched.then(SweepCaches::default);
     let evaluated: Vec<_> = space
         .par_iter()
-        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, cand))
+        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand))
         .collect();
     attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
@@ -723,9 +939,10 @@ pub fn tune_serial(
 ) -> Tuning {
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let dl_cache = DeadlockCache::default();
+    let caches = opts.batched.then(SweepCaches::default);
     let evaluated: Vec<_> = space
         .iter()
-        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, cand))
+        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand))
         .collect();
     attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
@@ -810,7 +1027,7 @@ mod tests {
         for r in &pruned.rejected {
             if let Rejection::Oom { plan, sim, .. } = r {
                 let StaticVerdict::Reject(statically) =
-                    static_verdict(&model, &cluster, plan, *sim, &DeadlockCache::default())
+                    static_verdict(&model, &cluster, plan, *sim, &DeadlockCache::default(), None)
                 else {
                     panic!("every simulated OOM must be statically decidable");
                 };
@@ -843,6 +1060,25 @@ mod tests {
         let par = tune(&model, &cluster, 16, 1, &wide);
         let ser = tune_serial(&model, &cluster, 16, 1, &wide);
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn batched_sweep_is_byte_identical_to_per_candidate() {
+        // The batched path shares built schedules, cost tables, static
+        // memory replays, engine lowerings and pipeline-group reports
+        // across the whole sweep. Every shared artifact is a pure
+        // function of its cache key, so the complete tuning — ranking,
+        // rejections, order — must match the per-candidate path byte for
+        // byte, under both parallel and serial evaluation.
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = lonestar6(8);
+        let wide = opts().wide();
+        let batched = tune(&model, &cluster, 16, 1, &wide);
+        let per_candidate =
+            tune(&model, &cluster, 16, 1, &TuneOptions { batched: false, ..wide.clone() });
+        assert_eq!(batched, per_candidate);
+        let serial_batched = tune_serial(&model, &cluster, 16, 1, &wide);
+        assert_eq!(batched, serial_batched);
     }
 
     #[test]

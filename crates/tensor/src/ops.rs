@@ -54,13 +54,14 @@ pub fn layernorm(x: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
     let mut means = Vec::with_capacity(x.rows);
     let mut inv_stds = Vec::with_capacity(x.rows);
     let n = x.cols as f32;
-    for r in 0..x.rows {
-        let row = x.row(r);
+    // Row-wise slice walk; arithmetic and order match the seed's indexed
+    // loops element for element (bitwise-stable rewrite).
+    for (out_row, row) in out.data.chunks_mut(x.cols).zip(x.data.chunks(x.cols)) {
         let mean = row.iter().sum::<f32>() / n;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
         let inv_std = 1.0 / (var + eps).sqrt();
-        for c in 0..x.cols {
-            *out.get_mut(r, c) = (x.get(r, c) - mean) * inv_std;
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            *o = (v - mean) * inv_std;
         }
         means.push(mean);
         inv_stds.push(inv_std);
@@ -74,14 +75,13 @@ pub fn layernorm(x: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
 pub fn layernorm_backward(xhat: &Tensor, inv_std: &[f32], dy: &Tensor) -> Tensor {
     let n = xhat.cols as f32;
     let mut dx = Tensor::zeros(xhat.rows, xhat.cols);
-    for r in 0..xhat.rows {
+    for (r, dx_row) in dx.data.chunks_mut(xhat.cols).enumerate() {
         let dy_row = dy.row(r);
         let xh_row = xhat.row(r);
         let sum_dy: f32 = dy_row.iter().sum();
         let sum_dy_xhat: f32 = dy_row.iter().zip(xh_row).map(|(a, b)| a * b).sum();
-        for c in 0..xhat.cols {
-            let v = (dy.get(r, c) - sum_dy / n - xhat.get(r, c) * sum_dy_xhat / n) * inv_std[r];
-            *dx.get_mut(r, c) = v;
+        for ((o, &dyv), &xhv) in dx_row.iter_mut().zip(dy_row).zip(xh_row) {
+            *o = (dyv - sum_dy / n - xhv * sum_dy_xhat / n) * inv_std[r];
         }
     }
     dx

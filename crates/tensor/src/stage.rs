@@ -237,35 +237,39 @@ impl Stage {
     }
 
     /// Forward pass; returns the output and the stash for backward.
+    ///
+    /// Activations move into the stash instead of being cloned, and the
+    /// bias / affine loops run row-wise over slices — the iteration order
+    /// (rows outer, columns inner) and the per-element operations are the
+    /// seed's exactly, so outputs are bitwise unchanged.
     pub fn forward(&self, x: &Tensor) -> (Tensor, StageStash) {
         let mut cur = x.clone();
         let mut per_block = Vec::with_capacity(self.blocks.len());
         for block in &self.blocks {
             match block {
                 Block::Linear { w, b } => {
-                    per_block.push(BlockStash::Input(cur.clone()));
                     let mut y = cur.matmul(w);
-                    for r in 0..y.rows {
-                        for c in 0..y.cols {
-                            *y.get_mut(r, c) += b[c];
+                    for row in y.data.chunks_mut(y.cols) {
+                        for (v, &bias) in row.iter_mut().zip(b) {
+                            *v += bias;
                         }
                     }
-                    cur = y;
+                    per_block.push(BlockStash::Input(std::mem::replace(&mut cur, y)));
                 }
                 Block::Gelu => {
-                    per_block.push(BlockStash::Input(cur.clone()));
-                    cur = ops::gelu(&cur);
+                    let y = ops::gelu(&cur);
+                    per_block.push(BlockStash::Input(std::mem::replace(&mut cur, y)));
                 }
                 Block::Relu => {
-                    per_block.push(BlockStash::Input(cur.clone()));
-                    cur = ops::relu(&cur);
+                    let y = ops::relu(&cur);
+                    per_block.push(BlockStash::Input(std::mem::replace(&mut cur, y)));
                 }
                 Block::LayerNorm { gain, bias, eps } => {
                     let (xhat, _means, inv_std) = ops::layernorm(&cur, *eps);
                     let mut y = xhat.clone();
-                    for r in 0..y.rows {
-                        for c in 0..y.cols {
-                            *y.get_mut(r, c) = y.get(r, c) * gain[c] + bias[c];
+                    for row in y.data.chunks_mut(y.cols) {
+                        for ((v, &g), &bv) in row.iter_mut().zip(gain).zip(bias) {
+                            *v = *v * g + bv;
                         }
                     }
                     per_block.push(BlockStash::Norm { xhat, inv_std });
@@ -277,6 +281,13 @@ impl Stage {
     }
 
     /// Backward pass; returns `(dL/dx, parameter gradients)`.
+    ///
+    /// Linear blocks route through the fused transposed kernels
+    /// ([`Tensor::matmul_at_b`] / [`Tensor::matmul_a_bt`]) instead of
+    /// materializing `xᵀ` / `Wᵀ` copies per micro-batch; the kernels are
+    /// bitwise identical to the transpose-then-matmul seed path (under
+    /// [`crate::tensor::set_reference_kernels`] they *are* the seed path),
+    /// so gradients are unchanged to the bit.
     pub fn backward(&self, stash: &StageStash, dy: &Tensor) -> (Tensor, StageGrads) {
         assert_eq!(stash.per_block.len(), self.blocks.len(), "stash mismatch");
         let mut grad = dy.clone();
@@ -284,9 +295,9 @@ impl Stage {
         for (i, block) in self.blocks.iter().enumerate().rev() {
             match (block, &stash.per_block[i]) {
                 (Block::Linear { w, .. }, BlockStash::Input(x)) => {
-                    let dw = x.transpose().matmul(&grad);
+                    let dw = x.matmul_at_b(&grad);
                     let db = grad.col_sum();
-                    grad = grad.matmul(&w.transpose());
+                    grad = grad.matmul_a_bt(w);
                     per_block[i] = BlockGrads::Linear { dw, db };
                 }
                 (Block::Gelu, BlockStash::Input(x)) => {
@@ -297,17 +308,20 @@ impl Stage {
                 }
                 (Block::LayerNorm { gain, .. }, BlockStash::Norm { xhat, inv_std }) => {
                     // d/dgain, d/dbias, then chain through the normalisation.
+                    // Row-wise slice walks; same (row outer, column inner)
+                    // order and arithmetic as the seed's indexed loops.
                     let mut dgain = vec![0.0f32; gain.len()];
                     let dbias = grad.col_sum();
-                    for r in 0..grad.rows {
-                        for c in 0..grad.cols {
-                            dgain[c] += grad.get(r, c) * xhat.get(r, c);
+                    for (grow, xrow) in grad.data.chunks(grad.cols).zip(xhat.data.chunks(xhat.cols))
+                    {
+                        for ((d, &g), &xh) in dgain.iter_mut().zip(grow).zip(xrow) {
+                            *d += g * xh;
                         }
                     }
                     let mut dxhat = grad.clone();
-                    for r in 0..dxhat.rows {
-                        for c in 0..dxhat.cols {
-                            *dxhat.get_mut(r, c) *= gain[c];
+                    for row in dxhat.data.chunks_mut(dxhat.cols) {
+                        for (v, &g) in row.iter_mut().zip(gain) {
+                            *v *= g;
                         }
                     }
                     grad = ops::layernorm_backward(xhat, inv_std, &dxhat);
@@ -514,6 +528,25 @@ mod tests {
         let back: StageGrads = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
         let bits = |g: &StageGrads| g.flat().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&back), bits(&g));
+    }
+
+    #[test]
+    fn forward_backward_bits_identical_under_reference_kernels() {
+        // The whole-stage A/B: fast kernels vs the frozen seed route must
+        // agree to the bit on activations, input grads and weight grads.
+        let s = Stage::mlp(&mut seeded(77), 12, 3);
+        let x = rng::uniform(&mut seeded(78), 5, 12, 0.9);
+        let dy = rng::uniform(&mut seeded(79), 5, 12, 0.9);
+        let (y_fast, stash_fast) = s.forward(&x);
+        let (dx_fast, g_fast) = s.backward(&stash_fast, &dy);
+        crate::tensor::set_reference_kernels(true);
+        let (y_ref, stash_ref) = s.forward(&x);
+        let (dx_ref, g_ref) = s.backward(&stash_ref, &dy);
+        crate::tensor::set_reference_kernels(false);
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&y_fast.data), bits(&y_ref.data), "activations drift");
+        assert_eq!(bits(&dx_fast.data), bits(&dx_ref.data), "input grads drift");
+        assert_eq!(bits(&g_fast.flat()), bits(&g_ref.flat()), "weight grads drift");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Bitwise-identity property tests for the gemm fast path.
+//!
+//! The determinism contract of the tensor substrate: the blocked/unrolled
+//! serial kernel, the row-parallel dispatch, and the fused transposed
+//! kernels (`matmul_at_b`, `matmul_a_bt`) all produce outputs **bitwise
+//! identical** to the frozen scalar seed kernel (`matmul_reference`) on
+//! every input. Shapes are drawn to straddle both the new flops gate and
+//! the old element-count gate so serial and parallel dispatches are
+//! exercised; values are dense (every element nonzero with probability 1)
+//! so a changed reduction order shows up in the low bits — the failure the
+//! old identity-matrix test could never see.
+//!
+//! Seeds live in `proptest-regressions/kernel_props.txt` (committed); they
+//! replay first on every run.
+
+use hanayo_tensor::tensor::matmul_parallelizes;
+use hanayo_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> BoxedStrategy<Tensor> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+        .boxed()
+}
+
+/// `(a, b)` pairs for `a × b`: dims span 1..=9 rows by up to 130/90 inner/
+/// outer columns, so `m*k*n` straddles `PAR_FLOP_THRESHOLD` (32k) and
+/// `m*n` straddles the reference kernel's 4096-element gate.
+fn matmul_pair() -> BoxedStrategy<(Tensor, Tensor)> {
+    (1usize..9, 1usize..130, 1usize..90)
+        .prop_flat_map(|(m, k, n)| (tensor_strategy(m, k), tensor_strategy(k, n)))
+        .boxed()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_and_parallel_matmul_match_reference_bitwise(
+        (a, b) in matmul_pair(),
+    ) {
+        let fast = a.matmul(&b);
+        let reference = a.matmul_reference(&b);
+        prop_assert_eq!(
+            bits(&fast), bits(&reference),
+            "[{},{}]x[{},{}] parallel={}",
+            a.rows, a.cols, b.rows, b.cols,
+            matmul_parallelizes(a.rows, a.cols, b.cols)
+        );
+    }
+
+    #[test]
+    fn fused_at_b_matches_transpose_then_matmul_bitwise(
+        (a, b) in (1usize..40, 1usize..40, 1usize..40)
+            .prop_flat_map(|(m, ka, n)| (tensor_strategy(m, ka), tensor_strategy(m, n)))
+            .boxed(),
+    ) {
+        // aᵀ × b without materializing aᵀ ≡ transpose-then-matmul, to the bit
+        // (both the frozen seed route and the current fast route).
+        let fused = a.matmul_at_b(&b);
+        prop_assert_eq!(bits(&fused), bits(&a.transpose().matmul_reference(&b)));
+        prop_assert_eq!(bits(&fused), bits(&a.transpose().matmul(&b)));
+    }
+
+    #[test]
+    fn fused_a_bt_matches_matmul_then_transpose_bitwise(
+        (a, b) in (1usize..40, 1usize..40, 1usize..40)
+            .prop_flat_map(|(m, k, n)| (tensor_strategy(m, k), tensor_strategy(n, k)))
+            .boxed(),
+    ) {
+        let fused = a.matmul_a_bt(&b);
+        prop_assert_eq!(bits(&fused), bits(&a.matmul_reference(&b.transpose())));
+        prop_assert_eq!(bits(&fused), bits(&a.matmul(&b.transpose())));
+    }
+}
