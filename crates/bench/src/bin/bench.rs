@@ -4,11 +4,12 @@
 //! workload families and maintains the `BENCH_*.json` trajectory files at
 //! the repository root:
 //!
-//! | file               | workloads                                        |
-//! |--------------------|--------------------------------------------------|
-//! | `BENCH_GEMM.json`  | raw gemm kernels, plain and fused-transposed     |
-//! | `BENCH_SWEEP.json` | the full `sweep --wide` tuner invocation         |
-//! | `BENCH_TRAIN.json` | threaded P=8/M=8 training, one run per golden scheme |
+//! | file                 | workloads                                        |
+//! |----------------------|--------------------------------------------------|
+//! | `BENCH_GEMM.json`    | raw gemm kernels, plain and fused-transposed     |
+//! | `BENCH_SWEEP.json`   | the full `sweep --wide` tuner invocation         |
+//! | `BENCH_TRAIN.json`   | threaded P=8/M=8 training, one run per golden scheme |
+//! | `BENCH_METRICS.json` | instrumented hot paths, metrics on vs off        |
 //!
 //! "Before" re-runs the *same* code with the seed-equivalent slow path
 //! selected — `set_reference_kernels(true)` for gemm/training (the frozen
@@ -16,25 +17,31 @@
 //! false` for the sweep (per-candidate lowering, no cross-candidate
 //! sharing) — so both sides measure identical semantics; every fast path
 //! is bitwise identical to its slow path by construction and by test.
+//! The `metrics` family inverts the reading: "before" is the registry
+//! *enabled* and "after" *disabled*, so its speedup column is the
+//! instrumentation overhead factor and the zero-perturbation contract
+//! holds while it stays ~1.0x.
 //!
 //! Flags:
 //!   --quick            smaller reps/workloads (CI smoke)
-//!   --only <family>    run just one of gemm | sweep | train
+//!   --only <family>    run just one of gemm | sweep | train | metrics
 //!   --record <label>   append a trajectory entry to each BENCH file
 //!   --guard            compare against the last recorded entry; exit 1 if
 //!                      any workload's "after" regressed beyond 3x (the
 //!                      criterion shim is print-only and cannot fail a
 //!                      build, so the regression guard lives here)
 //!   --validate         parse + schema-check the BENCH files, run nothing
+//!   --metrics <path>   run the remaining families instrumented and write
+//!                      the registry on exit (.prom or .json by extension)
 
 use hanayo_cluster::topology::lonestar6;
 use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::build_schedule;
 use hanayo_model::builders::MicroModel;
-use hanayo_model::ModelConfig;
+use hanayo_model::{CostTable, ModelConfig};
 use hanayo_runtime::trainer::{synthetic_data, train, TrainerConfig};
 use hanayo_runtime::LossKind;
-use hanayo_sim::{tune, TuneOptions};
+use hanayo_sim::{compile_schedule, try_simulate_compiled, tune, SimOptions, TuneOptions};
 use hanayo_tensor::tensor::set_reference_kernels;
 use hanayo_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -228,13 +235,81 @@ fn bench_train(quick: bool) -> BTreeMap<String, Workload> {
     out
 }
 
+/// Time `f` with the metrics registry enabled ("before") and disabled
+/// ("after"), so the speedup column reads as the instrumentation
+/// overhead factor. Restores the registry to its pre-call state: the
+/// overhead run's counters are scratch, not observability output.
+fn before_after_metrics(samples: usize, inner: usize, mut f: impl FnMut()) -> Workload {
+    let was_enabled = hanayo_metrics::enabled();
+    hanayo_metrics::set_enabled(true);
+    let before = median_ns(samples, inner, &mut f);
+    hanayo_metrics::set_enabled(false);
+    let after = median_ns(samples, inner, &mut f);
+    hanayo_metrics::reset();
+    hanayo_metrics::set_enabled(was_enabled);
+    Workload::new(before, after)
+}
+
+fn bench_metrics(quick: bool) -> BTreeMap<String, Workload> {
+    let (samples, inner) = if quick { (3, 8) } else { (7, 40) };
+    let mut out = BTreeMap::new();
+
+    // Gemm dispatch: one labelled counter bump per call when on, one
+    // relaxed atomic load + untaken branch when off.
+    let a = dense(64, 64, 1);
+    let b = dense(64, 64, 2);
+    out.insert(
+        "gemm_dispatch_64x64x64".into(),
+        before_after_metrics(samples, inner, || {
+            black_box(a.matmul(&b));
+        }),
+    );
+
+    // Compiled-engine hot loop: events are counted in a plain local and
+    // flushed once per run, so "on" adds three counter merges per run.
+    let cfg = PipelineConfig::new(8, 16, Scheme::Hanayo { waves: 2 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let cost = CostTable::build(&ModelConfig::bert64(), cfg.stages(), 1);
+    let cluster = lonestar6(8);
+    let opts = SimOptions::default();
+    let compiled = compile_schedule(&schedule, &opts);
+    out.insert(
+        "sim_compiled_hanayo_w2_p8_b16".into(),
+        before_after_metrics(samples, inner, || {
+            black_box(try_simulate_compiled(&compiled, &schedule, &cost, &cluster, opts).unwrap());
+        }),
+    );
+
+    // Threaded training: the densest instrumentation in the repo —
+    // per-worker stat flushes, mailbox-wait clock reads, heartbeat and
+    // stash gauges at every iteration boundary.
+    let (width, train_samples) = if quick { (16usize, 3) } else { (32, 5) };
+    let cfg = PipelineConfig::new(8, 8, Scheme::Hanayo { waves: 2 }).unwrap();
+    let schedule = build_schedule(&cfg).unwrap();
+    let stages = schedule.stage_map.stages;
+    let model = MicroModel { width, total_blocks: stages as usize, seed: 7 };
+    let data = synthetic_data(11, 1, 8, 4, width);
+    let trainer = TrainerConfig::new(schedule, model.build_stages(stages), 0.01, LossKind::Mse);
+    out.insert(
+        format!("train_p8_m8_w{width}_hanayo_w2"),
+        before_after_metrics(train_samples, 1, || {
+            black_box(train(&trainer, &data));
+        }),
+    );
+    out
+}
+
 fn repo_root() -> PathBuf {
     // crates/bench -> crates -> repo root.
     Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
-const FILES: [(&str, &str); 3] =
-    [("BENCH_GEMM.json", "gemm"), ("BENCH_SWEEP.json", "sweep"), ("BENCH_TRAIN.json", "train")];
+const FILES: [(&str, &str); 4] = [
+    ("BENCH_GEMM.json", "gemm"),
+    ("BENCH_SWEEP.json", "sweep"),
+    ("BENCH_TRAIN.json", "train"),
+    ("BENCH_METRICS.json", "metrics"),
+];
 
 fn load(path: &Path, bench: &str) -> Result<BenchFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -295,6 +370,7 @@ fn main() {
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
     let quick = has("--quick");
     let only = value_of("--only");
+    let metrics_out = value_of("--metrics");
     let root = repo_root();
 
     if has("--validate") {
@@ -307,6 +383,15 @@ fn main() {
 
     let run = |family: &str| only.as_deref().is_none_or(|o| o == family);
     let mut results: Vec<(&str, &str, BTreeMap<String, Workload>)> = Vec::new();
+    // The overhead family runs first: it toggles and then resets the
+    // registry, so it must finish before --metrics turns collection on
+    // for the remaining families.
+    if run("metrics") {
+        results.push(("BENCH_METRICS.json", "metrics", bench_metrics(quick)));
+    }
+    if metrics_out.is_some() {
+        hanayo_repro::metricsio::enable_metrics();
+    }
     if run("gemm") {
         results.push(("BENCH_GEMM.json", "gemm", bench_gemm(quick)));
     }
@@ -384,6 +469,16 @@ fn main() {
                 std::process::exit(1);
             }
             println!("recorded entry {label:?} -> {}", path.display());
+        }
+    }
+
+    if let Some(path) = &metrics_out {
+        match hanayo_repro::metricsio::write_metrics(path) {
+            Ok(n) => eprintln!("metrics: wrote {n} series to {path}"),
+            Err(e) => {
+                eprintln!("metrics: FAILED: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

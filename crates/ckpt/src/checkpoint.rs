@@ -216,8 +216,21 @@ impl Checkpoint {
         // Round-tripping is exact, so re-rendering the parsed payload
         // reproduces the canonical bytes the writer hashed; any value the
         // file lost or altered changes this CRC.
+        let metrics_on = hanayo_metrics::enabled();
+        let t0 = if metrics_on { hanayo_metrics::monotonic_nanos() } else { 0 };
         let computed = crc32(envelope.checkpoint.payload_json()?.as_bytes());
+        if metrics_on {
+            hanayo_metrics::observe(
+                "hanayo_ckpt_crc_verify_ns",
+                &[],
+                hanayo_metrics::NANOS_BUCKETS,
+                hanayo_metrics::monotonic_nanos().saturating_sub(t0),
+            );
+        }
         if computed != envelope.crc32 {
+            if metrics_on {
+                hanayo_metrics::counter_add("hanayo_ckpt_integrity_failures_total", &[], 1);
+            }
             return Err(CkptError::Integrity { stored: envelope.crc32, computed });
         }
         Ok(envelope.checkpoint)
@@ -225,14 +238,24 @@ impl Checkpoint {
 
     /// Write the envelope to a file.
     pub fn save(&self, path: &Path) -> Result<(), CkptError> {
-        std::fs::write(path, self.to_json()?).map_err(|e| CkptError::Io(format!("{path:?}: {e}")))
+        let json = self.to_json()?;
+        std::fs::write(path, &json).map_err(|e| CkptError::Io(format!("{path:?}: {e}")))?;
+        if hanayo_metrics::enabled() {
+            hanayo_metrics::counter_add("hanayo_ckpt_writes_total", &[], 1);
+            hanayo_metrics::counter_add("hanayo_ckpt_bytes_written_total", &[], json.len() as u64);
+        }
+        Ok(())
     }
 
     /// Read and fully validate a checkpoint file.
     pub fn load(path: &Path) -> Result<Checkpoint, CkptError> {
         let text =
             std::fs::read_to_string(path).map_err(|e| CkptError::Io(format!("{path:?}: {e}")))?;
-        Checkpoint::from_json(&text)
+        let ckpt = Checkpoint::from_json(&text)?;
+        if hanayo_metrics::enabled() {
+            hanayo_metrics::counter_add("hanayo_ckpt_resume_total", &[], 1);
+        }
+        Ok(ckpt)
     }
 
     /// Refuse a restore under a configuration whose fingerprint differs

@@ -1,0 +1,376 @@
+//! Exposition: render a [`Snapshot`] as Prometheus text or as a JSON
+//! document, and grammar-check the Prometheus rendering.
+//!
+//! Both renderings are pure functions of the snapshot, which is itself
+//! sorted — so for a deterministic run the bytes are reproducible and can
+//! be frozen as golden files. Floats render with Rust's shortest
+//! round-trip formatting.
+
+use crate::registry::{Series, SeriesValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Schema tag of the JSON exposition.
+pub const JSON_SCHEMA: &str = "hanayo-metrics-v1";
+
+fn type_name(v: &SeriesValue) -> &'static str {
+    match v {
+        SeriesValue::Counter(_) => "counter",
+        SeriesValue::Gauge(_) => "gauge",
+        SeriesValue::Histogram { .. } => "histogram",
+    }
+}
+
+/// Escape a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render `{a="x",b="y"}`, optionally with a trailing `le` pair; empty
+/// label sets render as the empty string (bare metric name).
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render the snapshot in the Prometheus text exposition format. A
+/// `# TYPE` comment precedes the first series of each metric name.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snap.series {
+        if last_name != Some(s.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {}", s.name, type_name(&s.value));
+            last_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+            }
+            SeriesValue::Histogram { bounds, counts, sum, count } => {
+                let mut cumulative = 0u64;
+                for (b, c) in bounds.iter().zip(counts.iter()) {
+                    cumulative = cumulative.saturating_add(*c);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        s.name,
+                        label_block(&s.labels, Some(&b.to_string()))
+                    );
+                }
+                cumulative = cumulative.saturating_add(*counts.last().unwrap_or(&0));
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    s.name,
+                    label_block(&s.labels, Some("+Inf"))
+                );
+                let _ = writeln!(out, "{}_sum{} {sum}", s.name, label_block(&s.labels, None));
+                let _ = writeln!(out, "{}_count{} {count}", s.name, label_block(&s.labels, None));
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn json_series(s: &Series) -> String {
+    let head = format!(
+        "{{\"name\":\"{}\",\"type\":\"{}\",\"labels\":{}",
+        json_escape(&s.name),
+        type_name(&s.value),
+        json_labels(&s.labels)
+    );
+    match &s.value {
+        SeriesValue::Counter(v) => format!("{head},\"value\":{v}}}"),
+        SeriesValue::Gauge(v) => format!("{head},\"value\":{v}}}"),
+        SeriesValue::Histogram { bounds, counts, sum, count } => {
+            let buckets: Vec<String> = bounds
+                .iter()
+                .map(|b| b.to_string())
+                .chain(std::iter::once("\"+Inf\"".to_string()))
+                .zip(counts.iter())
+                .map(|(le, c)| format!("[{le},{c}]"))
+                .collect();
+            format!("{head},\"buckets\":[{}],\"sum\":{sum},\"count\":{count}}}", buckets.join(","))
+        }
+    }
+}
+
+/// Render the snapshot as a single JSON document (schema
+/// [`JSON_SCHEMA`]): `{"schema":...,"series":[...]}` with one object per
+/// series in snapshot order. Histogram buckets are `[le, count]` pairs
+/// with per-bucket (not cumulative) counts and a final `"+Inf"` bucket.
+pub fn json(snap: &Snapshot) -> String {
+    let series: Vec<String> = snap.series.iter().map(json_series).collect();
+    format!("{{\"schema\":\"{JSON_SCHEMA}\",\"series\":[\n{}\n]}}\n", series.join(",\n"))
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split `name{labels} value` into its three parts, validating the label
+/// block's `k="v"` grammar.
+fn parse_sample(line: &str) -> Result<(String, f64), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or_else(|| format!("unclosed label block: {line:?}"))?;
+            if close < open {
+                return Err(format!("malformed label block: {line:?}"));
+            }
+            let labels = &line[open + 1..close];
+            if !labels.is_empty() {
+                for pair in split_label_pairs(labels)? {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("label pair without '=': {pair:?}"))?;
+                    if !valid_label_name(k) {
+                        return Err(format!("bad label name {k:?} in {line:?}"));
+                    }
+                    if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("unquoted label value {v:?} in {line:?}"));
+                    }
+                }
+            }
+            (&line[..open], line[close + 1..].trim())
+        }
+        None => {
+            let (n, v) =
+                line.split_once(' ').ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (n, v.trim())
+        }
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("bad metric name {name_part:?}"));
+    }
+    let value: f64 = if rest == "+Inf" {
+        f64::INFINITY
+    } else {
+        rest.parse().map_err(|e| format!("bad sample value {rest:?}: {e}"))?
+    };
+    Ok((name_part.to_string(), value))
+}
+
+/// Split a label block on commas that sit outside quoted values.
+fn split_label_pairs(block: &str) -> Result<Vec<String>, String> {
+    let mut pairs = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in block.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_quotes = !in_quotes;
+            }
+            ',' if !in_quotes => {
+                pairs.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated quote in label block {block:?}"));
+    }
+    if !cur.is_empty() {
+        pairs.push(cur);
+    }
+    Ok(pairs)
+}
+
+/// Grammar-check a Prometheus text exposition: every sample line parses,
+/// every metric name is legal, every sample's base name was declared by a
+/// preceding `# TYPE` line, and histogram `_bucket` series are
+/// cumulative-monotone. Returns the number of sample lines.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, f64)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let words: Vec<&str> = comment.split_whitespace().collect();
+            if words.first() == Some(&"TYPE") {
+                let name = words.get(1).ok_or(format!("line {lineno}: TYPE without name"))?;
+                let kind = words.get(2).ok_or(format!("line {lineno}: TYPE without kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad TYPE name {name:?}"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(kind) {
+                    return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                }
+                typed.push((name.to_string(), kind.to_string()));
+            }
+            continue;
+        }
+        let (name, value) = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let declared = typed.iter().any(|(n, kind)| {
+            name == *n
+                || (kind == "histogram"
+                    && [format!("{n}_bucket"), format!("{n}_sum"), format!("{n}_count")]
+                        .contains(&name))
+        });
+        if !declared {
+            return Err(format!("line {lineno}: sample {name:?} has no preceding TYPE"));
+        }
+        if name.ends_with("_bucket") {
+            let series = line.split(' ').next().unwrap_or("").to_string();
+            let series_base = series.split("le=").next().unwrap_or("").to_string();
+            if let Some((prev_base, prev)) = &last_bucket {
+                if *prev_base == series_base && value < *prev {
+                    return Err(format!(
+                        "line {lineno}: histogram buckets not cumulative ({value} < {prev})"
+                    ));
+                }
+            }
+            last_bucket = Some((series_base, value));
+        } else {
+            last_bucket = None;
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            series: vec![
+                Series {
+                    name: "a_total".into(),
+                    labels: vec![("kind".into(), "x\"y".into())],
+                    value: SeriesValue::Counter(7),
+                },
+                Series { name: "g_bytes".into(), labels: vec![], value: SeriesValue::Gauge(2.5) },
+                Series {
+                    name: "h_ns".into(),
+                    labels: vec![("device".into(), "0".into())],
+                    value: SeriesValue::Histogram {
+                        bounds: vec![10, 100],
+                        counts: vec![2, 1, 1],
+                        sum: 1062,
+                        count: 4,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_exact() {
+        let text = prometheus(&sample_snapshot());
+        let expected = "\
+# TYPE a_total counter
+a_total{kind=\"x\\\"y\"} 7
+# TYPE g_bytes gauge
+g_bytes 2.5
+# TYPE h_ns histogram
+h_ns_bucket{device=\"0\",le=\"10\"} 2
+h_ns_bucket{device=\"0\",le=\"100\"} 3
+h_ns_bucket{device=\"0\",le=\"+Inf\"} 4
+h_ns_sum{device=\"0\"} 1062
+h_ns_count{device=\"0\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn own_rendering_validates() {
+        let text = prometheus(&sample_snapshot());
+        assert_eq!(validate_prometheus(&text).unwrap(), 7);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("x_total 1\n").is_err(), "sample without TYPE");
+        assert!(validate_prometheus("# TYPE x_total counter\nx_total{k=v} 1\n").is_err());
+        assert!(validate_prometheus("# TYPE x_total counter\nx_total oops\n").is_err());
+        assert!(validate_prometheus("# TYPE 9bad counter\n9bad 1\n").is_err());
+        let shrinking = "# TYPE h histogram\n\
+                         h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n";
+        assert!(validate_prometheus(shrinking).is_err(), "non-cumulative buckets");
+    }
+
+    #[test]
+    fn json_rendering_is_exact() {
+        let text = json(&sample_snapshot());
+        let expected = "{\"schema\":\"hanayo-metrics-v1\",\"series\":[\n\
+            {\"name\":\"a_total\",\"type\":\"counter\",\"labels\":{\"kind\":\"x\\\"y\"},\"value\":7},\n\
+            {\"name\":\"g_bytes\",\"type\":\"gauge\",\"labels\":{},\"value\":2.5},\n\
+            {\"name\":\"h_ns\",\"type\":\"histogram\",\"labels\":{\"device\":\"0\"},\"buckets\":[[10,2],[100,1],[\"+Inf\",1]],\"sum\":1062,\"count\":4}\n\
+            ]}\n";
+        assert_eq!(text, expected);
+    }
+}

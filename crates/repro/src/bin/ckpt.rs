@@ -71,6 +71,7 @@ struct Args {
     restart_s: f64,
     intervals: Vec<u32>,
     compact: bool,
+    metrics: Option<String>,
 }
 
 impl Default for Args {
@@ -101,6 +102,7 @@ impl Default for Args {
             restart_s: 30.0,
             intervals: vec![4, 16],
             compact: false,
+            metrics: None,
         }
     }
 }
@@ -147,6 +149,9 @@ GOODPUT FLAGS:
   --intervals <csv>           checkpoint intervals to price  [4,16]
 
   --compact                   single-line JSON (default pretty)
+  --metrics <path>            enable the metrics registry and write its
+                              exposition there on exit (.prom selects
+                              Prometheus text, anything else JSON)
   --help                      this text
 ";
 
@@ -208,6 +213,7 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?
             }
             "--compact" => args.compact = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -634,6 +640,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.metrics.is_some() {
+        hanayo_repro::metricsio::enable_metrics();
+    }
     let outcome = match args.mode.as_str() {
         "run" => mode_run(&args),
         "inspect" => mode_inspect(&args),
@@ -642,6 +651,12 @@ fn main() -> ExitCode {
         "validate-goodput" => mode_validate_goodput(&args),
         other => Err(format!("unknown mode {other}")),
     };
+    let outcome = outcome.and_then(|()| {
+        let Some(path) = &args.metrics else { return Ok(()) };
+        let n = hanayo_repro::metricsio::write_metrics(path)?;
+        eprintln!("metrics: wrote {n} series to {path}");
+        Ok(())
+    });
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -23,11 +23,12 @@ use std::process::ExitCode;
 /// Crates whose library sources the gate covers, relative to the repo
 /// root. Benches, shims and the repro binaries are out of scope: a panic
 /// there aborts a developer tool, not a tuning or training run.
-const SCOPES: [&str; 10] = [
+const SCOPES: [&str; 11] = [
     "crates/analyze/src",
     "crates/ckpt/src",
     "crates/cluster/src",
     "crates/core/src",
+    "crates/metrics/src",
     "crates/model/src",
     "crates/runtime/src",
     "crates/sim/src",

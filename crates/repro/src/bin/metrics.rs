@@ -1,0 +1,115 @@
+//! `metrics` — exercise every instrumented layer on one seeded scenario
+//! and emit the registry, as Prometheus text or the `hanayo-metrics-v1`
+//! JSON document.
+//!
+//! This is the observability smoke test and the scrape-format reference:
+//! the counters it prints are a pure function of the workload (the clock
+//! is pinned, the sweep is serial), so two runs emit byte-identical
+//! documents — the golden suite holds it to that.
+//!
+//! ```text
+//! cargo run -p hanayo-repro --bin metrics -- --format prom --validate
+//! ```
+
+use hanayo_repro::metricsio::{demo_scenario, enable_metrics, write_metrics};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+metrics — run the seeded observability scenario and emit the registry
+
+USAGE: metrics [FLAGS]
+
+FLAGS (all optional):
+  --format <prom|json>   exposition format for stdout        [prom]
+  --out <path>           also write the exposition to a file
+                         (.prom extension selects Prometheus text,
+                         anything else the JSON document)
+  --validate             check the Prometheus rendering against the
+                         exposition grammar and print the sample count
+  --quiet                suppress the exposition on stdout
+  --help                 this text
+";
+
+#[derive(Default)]
+struct Args {
+    json: bool,
+    out: Option<String>,
+    validate: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--format" => match value("--format")?.as_str() {
+                "prom" => args.json = false,
+                "json" => args.json = true,
+                other => return Err(format!("--format: expected prom or json, got {other}")),
+            },
+            "--out" => args.out = Some(value("--out")?),
+            "--validate" => args.validate = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The pinned clock makes every duration histogram deterministic
+    // (each observation lands in the first bucket), which is what lets
+    // the emitted document be byte-stable across runs and machines.
+    hanayo_metrics::set_clock(hanayo_metrics::ClockMode::Fixed(1_700_000_000_000_000_000));
+    enable_metrics();
+    if let Err(msg) = demo_scenario() {
+        eprintln!("error: scenario failed: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    let snap = hanayo_metrics::snapshot();
+    let prom = hanayo_metrics::expo::prometheus(&snap);
+    if args.validate {
+        match hanayo_metrics::expo::validate_prometheus(&prom) {
+            Ok(samples) => {
+                eprintln!(
+                    "validated: {} series, {samples} samples, prometheus grammar ok",
+                    snap.series.len()
+                );
+            }
+            Err(msg) => {
+                eprintln!("error: invalid prometheus exposition: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.out {
+        match write_metrics(path) {
+            Ok(n) => eprintln!("wrote {n} series to {path}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !args.quiet {
+        let text = if args.json { hanayo_metrics::expo::json(&snap) } else { prom };
+        print!("{text}");
+    }
+    ExitCode::SUCCESS
+}

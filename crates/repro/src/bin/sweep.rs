@@ -37,6 +37,7 @@ struct Args {
     serial: bool,
     top: Option<usize>,
     compact: bool,
+    metrics: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +56,7 @@ impl Default for Args {
             serial: false,
             top: None,
             compact: false,
+            metrics: None,
         }
     }
 }
@@ -82,6 +84,10 @@ FLAGS (all optional):
                                  (identical output; for verification)
   --top <N>                      emit only the N best candidates
   --compact                      single-line JSON (default pretty)
+  --metrics <path>               enable the metrics registry and write
+                                 its exposition there on exit (.prom
+                                 extension selects Prometheus text,
+                                 anything else JSON)
   --help                         this text
 ";
 
@@ -136,6 +142,7 @@ fn parse_args() -> Result<Args, String> {
             "--serial" => args.serial = true,
             "--top" => args.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
             "--compact" => args.compact = true,
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -336,8 +343,20 @@ fn main() -> ExitCode {
         opts.recompute_modes = modes.clone();
     }
 
+    if args.metrics.is_some() {
+        hanayo_repro::metricsio::enable_metrics();
+    }
     let run = if args.serial { tune_serial } else { tune };
     let tuning = run(&model, &cluster, args.batch, args.micro_batch_size, &opts);
+    if let Some(path) = &args.metrics {
+        match hanayo_repro::metricsio::write_metrics(path) {
+            Ok(n) => eprintln!("metrics: wrote {n} series to {path}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let table = build_table(&args, &tuning, &cluster, &model, &opts.recompute_variants());
     let json = if args.compact {
         serde_json::to_string(&table)

@@ -59,6 +59,9 @@ FLAGS (all optional):
   --validate <file>           parse a Chrome-trace export back, verify the
                               ph/ts/dur/pid/tid fields, exit non-zero on
                               any violation (prints the event count)
+  --metrics <path>            enable the metrics registry and write its
+                              exposition there on exit (.prom selects
+                              Prometheus text, anything else JSON)
   --help                      this text
 ";
 
@@ -77,6 +80,7 @@ struct Args {
     gantt: Option<usize>,
     compact: bool,
     validate: Option<String>,
+    metrics: Option<String>,
 }
 
 impl Default for Args {
@@ -95,6 +99,7 @@ impl Default for Args {
             gantt: None,
             compact: false,
             validate: None,
+            metrics: None,
         }
     }
 }
@@ -136,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--compact" => args.compact = true,
             "--validate" => args.validate = Some(value("--validate")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -324,6 +330,9 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.metrics.is_some() {
+        hanayo_repro::metricsio::enable_metrics();
+    }
     let doc = match run(&args) {
         Ok(doc) => doc,
         Err(msg) => {
@@ -331,6 +340,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.metrics {
+        match hanayo_repro::metricsio::write_metrics(path) {
+            Ok(n) => eprintln!("metrics: wrote {n} series to {path}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let json =
         if args.compact { serde_json::to_string(&doc) } else { serde_json::to_string_pretty(&doc) };
     match json {

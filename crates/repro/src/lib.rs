@@ -25,6 +25,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod memfig;
+pub mod metricsio;
 
 /// A figure's id plus the function that renders its table.
 pub type FigureRunner = (&'static str, fn() -> String);

@@ -56,9 +56,19 @@ pub struct Mailbox {
     rx: Receiver<Envelope>,
     /// Early arrivals waiting for their recv to be issued.
     parked: HashMap<(u32, MsgTag), Tensor>,
+    /// High-water mark of `parked` over the mailbox's lifetime — the
+    /// worker-imbalance signal [`crate::trainer::TrainOutput`] surfaces
+    /// per device: a mailbox that parks deeply is a device whose consumer
+    /// runs far behind its producers.
+    parked_peak: usize,
 }
 
 impl Mailbox {
+    fn park(&mut self, env: Envelope) {
+        self.parked.insert((env.iter, env.tag), env.tensor);
+        self.parked_peak = self.parked_peak.max(self.parked.len());
+    }
+
     /// Blocking receive of a specific `(iter, tag)` message. Returns
     /// `None` if the fabric disconnects while the receive is pending —
     /// every sender is gone, so the message can never arrive.
@@ -71,7 +81,7 @@ impl Mailbox {
             if env.iter == iter && env.tag == tag {
                 return Some(env.tensor);
             }
-            self.parked.insert((env.iter, env.tag), env.tensor);
+            self.park(env);
         }
     }
 
@@ -91,7 +101,7 @@ impl Mailbox {
                     if env.iter == iter && env.tag == tag {
                         return Some(env.tensor);
                     }
-                    self.parked.insert((env.iter, env.tag), env.tensor);
+                    self.park(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return None,
@@ -102,6 +112,11 @@ impl Mailbox {
     /// Number of parked (early) messages — useful in tests.
     pub fn parked_len(&self) -> usize {
         self.parked.len()
+    }
+
+    /// High-water mark of the parked map over this mailbox's lifetime.
+    pub fn parked_peak(&self) -> usize {
+        self.parked_peak
     }
 }
 
@@ -138,7 +153,7 @@ pub fn fabric(n: usize) -> (Fabric, Vec<Mailbox>) {
     for _ in 0..n {
         let (tx, rx) = unbounded();
         senders.push(tx);
-        boxes.push(Mailbox { rx, parked: HashMap::new() });
+        boxes.push(Mailbox { rx, parked: HashMap::new(), parked_peak: 0 });
     }
     (Fabric { senders }, boxes)
 }
@@ -175,6 +190,8 @@ mod tests {
         assert_eq!(boxes[1].parked_len(), 1);
         assert_eq!(boxes[1].recv(0, tag(1, 1)).unwrap().data, vec![2.0]);
         assert_eq!(boxes[1].parked_len(), 0);
+        // The high-water mark survives the drain.
+        assert_eq!(boxes[1].parked_peak(), 1);
     }
 
     #[test]

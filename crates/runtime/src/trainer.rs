@@ -102,6 +102,12 @@ pub struct TrainOutput {
     /// deterministic and — given a cost table probed from the same stages —
     /// exactly equal to the simulator's `peak_mem − weight_mem`.
     pub peak_stash_bytes: Vec<usize>,
+    /// High-water mark of each device's mailbox parked map (early
+    /// arrivals held until their receive is issued) — the worker-imbalance
+    /// signal: a device that parks deeply runs far behind its producers.
+    /// Same shape and ordering as [`TrainOutput::peak_stash_bytes`]
+    /// (empty for the sequential reference, which has no fabric).
+    pub peak_mailbox_parked: Vec<usize>,
     /// The measured execution trace, when [`TrainerConfig::trace`] asked
     /// for one (`None` otherwise, and always `None` for the sequential
     /// reference). Data-parallel runs merge every replica onto global
@@ -373,6 +379,7 @@ fn try_train_dp_segment(
     let losses =
         (0..iters).map(|i| ok.iter().map(|o| o.losses[i]).sum::<f32>() / dp as f32).collect();
     let peak = ok.iter().flat_map(|o| o.peak_stash_bytes.clone()).collect();
+    let parked = ok.iter().flat_map(|o| o.peak_mailbox_parked.clone()).collect();
     // Merge replica traces onto global device ranks (`rank·P + local`).
     let trace = cfg.trace.then(|| {
         let p = cfg.schedule.lists.len() as u32;
@@ -388,6 +395,7 @@ fn try_train_dp_segment(
         losses,
         stages: ok.into_iter().next().map_or_else(Vec::new, |o| o.stages),
         peak_stash_bytes: peak,
+        peak_mailbox_parked: parked,
         trace,
     })
 }
@@ -452,6 +460,7 @@ fn try_train_with_dp(
                         modules: HashMap::new(),
                         losses: Vec::new(),
                         peak_stash_bytes: 0,
+                        peak_mailbox_parked: 0,
                         events: Vec::new(),
                         error: Some(WorkerError::Panicked {
                             device,
@@ -474,9 +483,11 @@ fn try_train_with_dp(
     let mut stages = cfg.stages.clone();
     let mut losses = Vec::new();
     let mut peaks = vec![0usize; p];
+    let mut parked = vec![0usize; p];
     let mut trace = cfg.trace.then(|| Trace::new(p as u32));
     for report in reports {
         peaks[report.device.idx()] = report.peak_stash_bytes;
+        parked[report.device.idx()] = report.peak_mailbox_parked;
         if let Some(trace) = &mut trace {
             trace.events.extend(report.events);
         }
@@ -490,7 +501,7 @@ fn try_train_with_dp(
     if let Some(trace) = &mut trace {
         trace.normalize();
     }
-    Ok(TrainOutput { losses, stages, peak_stash_bytes: peaks, trace })
+    Ok(TrainOutput { losses, stages, peak_stash_bytes: peaks, peak_mailbox_parked: parked, trace })
 }
 
 // ---------------------------------------------------------------------------
@@ -530,6 +541,9 @@ struct RunState {
     stages: Vec<Stage>,
     losses: Vec<f32>,
     peaks: Vec<usize>,
+    /// Per-device mailbox high-water marks, `max` over chunks like
+    /// `peaks` (not stored in a checkpoint — a per-run measurement).
+    parked: Vec<usize>,
     trace: Option<Trace>,
     last_ckpt: Option<Checkpoint>,
     /// Data-stream cursor of the checkpoint this run resumed from (with
@@ -634,6 +648,9 @@ fn run_chunked(
                 for (acc, chunk) in state.peaks.iter_mut().zip(&out.peak_stash_bytes) {
                     *acc = (*acc).max(*chunk);
                 }
+                for (acc, chunk) in state.parked.iter_mut().zip(&out.peak_mailbox_parked) {
+                    *acc = (*acc).max(*chunk);
+                }
                 if let (Some(t), Some(chunk_t)) = (&mut state.trace, &out.trace) {
                     t.merge_shifted(chunk_t, shift);
                 }
@@ -648,6 +665,7 @@ fn run_chunked(
         losses: state.losses,
         stages: state.stages,
         peak_stash_bytes: state.peaks,
+        peak_mailbox_parked: state.parked,
         trace: state.trace,
     })
 }
@@ -657,6 +675,7 @@ fn fresh_state(cfg: &TrainerConfig, devices: usize) -> RunState {
         stages: cfg.stages.clone(),
         losses: Vec::new(),
         peaks: vec![0; devices],
+        parked: vec![0; devices],
         trace: cfg.trace.then(|| Trace::new(devices as u32)),
         last_ckpt: None,
         rng_origin: None,
@@ -695,6 +714,7 @@ fn resume_state(cfg: &TrainerConfig, ckpt: &Checkpoint, devices: usize) -> RunSt
         stages: ckpt.stages.clone(),
         losses: ckpt.losses.clone(),
         peaks: ckpt.peak_stash_bytes.iter().map(|&b| b as usize).collect(),
+        parked: vec![0; devices],
         trace: cfg.trace.then(|| ckpt.trace.clone().unwrap_or_else(|| Trace::new(devices as u32))),
         last_ckpt: Some(ckpt.clone()),
         rng_origin: ckpt.rng.map(|c| (c, ckpt.iteration)),
@@ -758,6 +778,7 @@ pub fn checkpoint_of(
         stages: out.stages.clone(),
         losses: out.losses.clone(),
         peaks: out.peak_stash_bytes.clone(),
+        parked: out.peak_mailbox_parked.clone(),
         trace: out.trace.clone(),
         last_ckpt: None,
         rng_origin: None,
@@ -808,7 +829,13 @@ pub fn sequential_reference(
         }
         losses.push(iter_loss / b as f32);
     }
-    TrainOutput { losses, stages, peak_stash_bytes: Vec::new(), trace: None }
+    TrainOutput {
+        losses,
+        stages,
+        peak_stash_bytes: Vec::new(),
+        peak_mailbox_parked: Vec::new(),
+        trace: None,
+    }
 }
 
 /// Convenience: deterministic random regression data shaped for a pipeline

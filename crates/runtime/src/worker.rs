@@ -307,6 +307,56 @@ pub struct WorkerConfig {
     pub origin: Instant,
 }
 
+/// Deterministic per-run op tallies, flushed to the metrics registry in
+/// one batch when the worker finishes. Plain local `u64`s during the run
+/// (a handful of adds per op, never read back), so observation cannot
+/// perturb the computation.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    forward: u64,
+    backward: u64,
+    send: u64,
+    recv: u64,
+    optim: u64,
+    allreduce: u64,
+}
+
+impl WorkerStats {
+    /// Flush counters and peak gauges for `device`. No-op unless the
+    /// registry is enabled.
+    fn flush(&self, device: DeviceId, peak_stash: usize, peak_parked: usize) {
+        if !hanayo_metrics::enabled() {
+            return;
+        }
+        let dev = device.0.to_string();
+        for (kind, n) in [
+            ("forward", self.forward),
+            ("backward", self.backward),
+            ("send", self.send),
+            ("recv", self.recv),
+            ("optim", self.optim),
+        ] {
+            if n > 0 {
+                hanayo_metrics::counter_add(
+                    "hanayo_worker_ops_total",
+                    &[("device", dev.as_str()), ("kind", kind)],
+                    n,
+                );
+            }
+        }
+        if self.allreduce > 0 {
+            hanayo_metrics::counter_add(
+                "hanayo_worker_allreduce_total",
+                &[("device", dev.as_str())],
+                self.allreduce,
+            );
+        }
+        let labels: &[(&'static str, &str)] = &[("device", dev.as_str())];
+        hanayo_metrics::gauge_set("hanayo_worker_stash_bytes_peak", labels, peak_stash as f64);
+        hanayo_metrics::gauge_set("hanayo_worker_mailbox_parked_peak", labels, peak_parked as f64);
+    }
+}
+
 /// What a worker hands back when the run finishes.
 pub struct WorkerReport {
     /// This worker's rank.
@@ -322,6 +372,11 @@ pub struct WorkerReport {
     /// is where checkpointing's memory win becomes *measured* rather than
     /// modelled (the memory-truth suite pins it against the simulator).
     pub peak_stash_bytes: usize,
+    /// High-water mark of this device's mailbox parked map — how many
+    /// early messages were simultaneously waiting for their receive to be
+    /// issued. A deep peak marks a consumer running far behind its
+    /// producers (worker imbalance) without needing a full trace.
+    pub peak_mailbox_parked: usize,
     /// Measured spans, when the config asked for tracing (empty
     /// otherwise, and best-effort-partial when the worker stopped on an
     /// error). The trainer merges all devices' events into the run's
@@ -337,13 +392,22 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
     let mut losses = Vec::new();
     let mut peak_stash = 0usize;
     let mut events = Vec::new();
+    let mut stats = WorkerStats::default();
 
     // A panic below the typed-error layer (a shape assert in the math
     // kernels, say) must not poison the trainer's join: catch it here and
     // report it as a root-cause WorkerError naming this device, so the
     // abort latch still trips and peers unwind instead of deadlocking.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_action_lists(&mut cfg, &mut mailbox, &fabric, &mut losses, &mut peak_stash, &mut events)
+        run_action_lists(
+            &mut cfg,
+            &mut mailbox,
+            &fabric,
+            &mut losses,
+            &mut peak_stash,
+            &mut events,
+            &mut stats,
+        )
     }));
     let error = match outcome {
         Ok(result) => result.err(),
@@ -360,12 +424,14 @@ pub fn run_worker(mut cfg: WorkerConfig, mut mailbox: Mailbox, fabric: Fabric) -
         }
         debug_assert!(e.device() == device);
     }
+    stats.flush(device, peak_stash, mailbox.parked_peak());
 
     WorkerReport {
         device,
         modules: std::mem::take(&mut cfg.modules),
         losses,
         peak_stash_bytes: peak_stash,
+        peak_mailbox_parked: mailbox.parked_peak(),
         events,
         error,
     }
@@ -378,6 +444,7 @@ fn run_action_lists(
     losses: &mut Vec<f32>,
     peak_stash: &mut usize,
     events: &mut Vec<TraceEvent>,
+    stats: &mut WorkerStats,
 ) -> Result<(), WorkerError> {
     let schedule = Arc::clone(&cfg.schedule);
     let device = cfg.device;
@@ -405,6 +472,24 @@ fn run_action_lists(
             events.push(TraceEvent { device: dev, kind, mb, stage, t_start: t0, t_end: t1 });
         }
     };
+
+    // Metrics gate, read once: flipping the registry mid-run must not
+    // change what a single run records. Like `tick`, the disabled path
+    // takes no clock readings; the wait probe reads the metrics clock
+    // only when enabled, and nothing here is ever read back by the run.
+    let metrics_on = hanayo_metrics::enabled();
+    let dev_label = device.0.to_string();
+    let mwait = |t0_ns: u64| {
+        if metrics_on {
+            hanayo_metrics::observe(
+                "hanayo_worker_mailbox_wait_ns",
+                &[("device", dev_label.as_str())],
+                hanayo_metrics::NANOS_BUCKETS,
+                hanayo_metrics::monotonic_nanos().saturating_sub(t0_ns),
+            );
+        }
+    };
+    let mnow = || if metrics_on { hanayo_metrics::monotonic_nanos() } else { 0 };
 
     // The failure plan speaks global device ranks (`replica · P + local`)
     // and global iterations (`iter_base + local`), so injected faults stay
@@ -437,6 +522,7 @@ fn run_action_lists(
             match action {
                 Action::Forward { mb, stage } => {
                     let t0 = tick();
+                    stats.forward += 1;
                     let x = if stage.0 == 0 {
                         data.inputs[mb.idx()].clone()
                     } else {
@@ -476,6 +562,7 @@ fn run_action_lists(
                 }
                 Action::Backward { mb, stage } => {
                     let t0 = tick();
+                    stats.backward += 1;
                     let tag = MsgTag { mb: *mb, stage: *stage, payload: Payload::Gradient };
                     let dy =
                         local.remove(&tag).ok_or(WorkerError::MissingGradient { device, tag })?;
@@ -536,6 +623,7 @@ fn run_action_lists(
                             });
                         }
                         let t0 = tick();
+                        stats.send += 1;
                         let tensor = outbound
                             .remove(&op.tag)
                             .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
@@ -545,9 +633,12 @@ fn run_action_lists(
                     }
                     CommDir::Recv => {
                         let t0 = tick();
+                        stats.recv += 1;
+                        let w0 = mnow();
                         let tensor = mailbox
                             .recv_abortable(iter, op.tag, &cfg.abort)
                             .ok_or(WorkerError::Aborted { device })?;
+                        mwait(w0);
                         local.insert(op.tag, tensor);
                         let (mb, stage) = (op.tag.mb.0, op.tag.stage.0);
                         span(events, TraceKind::Recv, Some(mb), Some(stage), t0, tick());
@@ -565,6 +656,7 @@ fn run_action_lists(
                             });
                         }
                         let t0 = tick();
+                        stats.send += 1;
                         let tensor = outbound
                             .remove(&op.tag)
                             .ok_or(WorkerError::MissingOutbound { device, tag: op.tag })?;
@@ -580,9 +672,12 @@ fn run_action_lists(
                     }
                     for op in ops.iter().filter(|o| o.dir == CommDir::Recv) {
                         let t0 = tick();
+                        stats.recv += 1;
+                        let w0 = mnow();
                         let tensor = mailbox
                             .recv_abortable(iter, op.tag, &cfg.abort)
                             .ok_or(WorkerError::Aborted { device })?;
+                        mwait(w0);
                         local.insert(op.tag, tensor);
                         span(
                             events,
@@ -598,6 +693,7 @@ fn run_action_lists(
                     let mut stage_ids: Vec<u32> = cfg.modules.keys().copied().collect();
                     stage_ids.sort_unstable();
                     for s in stage_ids {
+                        stats.optim += 1;
                         // The Optim spans cover only the local
                         // reduce/step work; the blocking all-reduce
                         // rendezvous is its own (comm-kind) span, so the
@@ -621,6 +717,7 @@ fn run_action_lists(
                             total.accumulate(&g);
                         }
                         let t1 = if let Some((rank, hub)) = &cfg.dp {
+                            stats.allreduce += 1;
                             let a0 = tick();
                             span(events, TraceKind::Optim, None, Some(s), t0, a0);
                             total = hub
@@ -647,6 +744,18 @@ fn run_action_lists(
         }
         if holds_last_stage(&schedule, device) {
             losses.push(iter_loss / micro_batches as f32);
+        }
+        if metrics_on {
+            // Heartbeat for fault detection (age = scrape time minus this
+            // timestamp) and the live-bytes level at the iteration
+            // boundary (nonzero only when a schedule leaks stash).
+            let labels: &[(&'static str, &str)] = &[("device", dev_label.as_str())];
+            hanayo_metrics::gauge_set(
+                "hanayo_worker_heartbeat_ts_ns",
+                labels,
+                hanayo_metrics::now_nanos() as f64,
+            );
+            hanayo_metrics::gauge_set("hanayo_worker_stash_bytes_live", labels, cur_stash as f64);
         }
     }
     Ok(())

@@ -547,6 +547,10 @@ struct Engine<'a> {
     /// Trace events accumulated when `opts.trace` is set (empty, never
     /// touched, otherwise).
     trace_events: Vec<TraceEvent>,
+    /// Rendezvous stalls: receives (single or batched) that blocked
+    /// because the matching send had not arrived. A plain local add on
+    /// the hot path; flushed to the metrics registry once per run.
+    stalls: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -697,6 +701,7 @@ impl<'a> Engine<'a> {
                     if self.slot_flags[self.slot(d, key)] & SLOT_ARRIVED != 0 {
                         self.pc[d] += 1;
                     } else {
+                        self.stalls += 1;
                         self.state[d] = DevState::WaitRecv(key);
                         self.block_start[d] = now;
                         return;
@@ -714,6 +719,7 @@ impl<'a> Engine<'a> {
                     if self.batch_recvs_arrived(d, start, end) {
                         self.pc[d] += 1;
                     } else {
+                        self.stalls += 1;
                         self.state[d] = DevState::WaitBatch(start, end);
                         self.block_start[d] = now;
                         return;
@@ -1003,13 +1009,22 @@ fn run_compiled(
         peak_mem: weight_mem.clone(),
         stages: schedule.stage_map.stages,
         trace_events: Vec::new(),
+        stalls: 0,
     };
 
     for d in 0..p {
         eng.advance(d, 0.0);
     }
+    // Local counter on the hot loop; one registry batch after the run.
+    let mut events_popped: u64 = 0;
     while let Some(HeapEv { t: Tm(t), ev, .. }) = eng.events.pop() {
+        events_popped += 1;
         eng.handle(t, ev);
+    }
+    if hanayo_metrics::enabled() {
+        hanayo_metrics::counter_add("hanayo_sim_runs_total", &[], 1);
+        hanayo_metrics::counter_add("hanayo_sim_events_total", &[], events_popped);
+        hanayo_metrics::counter_add("hanayo_sim_rendezvous_stalls_total", &[], eng.stalls);
     }
     if !eng.state.iter().all(|s| *s == DevState::Done) {
         let stalled = eng

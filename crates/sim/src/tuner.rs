@@ -544,11 +544,26 @@ struct SweepCaches {
     reports: GroupReportMemo,
 }
 
+/// One registry increment per cache probe, disabled-path cost a single
+/// relaxed load. Hit/miss totals are deterministic under serial sweeps;
+/// parallel sweeps may split them differently between hit and miss
+/// (whichever thread populates first), which is why the golden
+/// exposition pins the serial path.
+fn record_cache(cache: &'static str, hit: bool) {
+    if hanayo_metrics::enabled() {
+        let name =
+            if hit { "hanayo_tuner_cache_hits_total" } else { "hanayo_tuner_cache_misses_total" };
+        hanayo_metrics::counter_add(name, &[("cache", cache)], 1);
+    }
+}
+
 impl SweepCaches {
     fn schedule_for(&self, key: SchedKey, cfg: &PipelineConfig) -> Option<Arc<Schedule>> {
         if let Some(hit) = self.schedules.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            record_cache("schedules", true);
             return Some(hit);
         }
+        record_cache("schedules", false);
         let built = Arc::new(build_schedule(cfg).ok()?);
         if let Ok(mut m) = self.schedules.lock() {
             m.entry(key).or_insert_with(|| built.clone());
@@ -558,8 +573,10 @@ impl SweepCaches {
 
     fn cost_for(&self, key: CostKey, model: &ModelConfig) -> Arc<CostTable> {
         if let Some(hit) = self.costs.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            record_cache("costs", true);
             return hit;
         }
+        record_cache("costs", false);
         let (stages, micro_batch_size, recompute) = key;
         let built = Arc::new(CostTable::build_with(model, stages, micro_batch_size, recompute));
         if let Ok(mut m) = self.costs.lock() {
@@ -575,8 +592,10 @@ impl SweepCaches {
         cost: &CostTable,
     ) -> Arc<Vec<u64>> {
         if let Some(hit) = self.peaks.lock().ok().and_then(|m| m.get(&key).cloned()) {
+            record_cache("peaks", true);
             return hit;
         }
+        record_cache("peaks", false);
         let built = Arc::new(static_peak_mem(schedule, cost));
         if let Ok(mut m) = self.peaks.lock() {
             m.entry(key).or_insert_with(|| built.clone());
@@ -597,8 +616,10 @@ impl SweepCaches {
     ) -> (Arc<CompiledSchedule>, u32) {
         let full = (key, sim.recv_lookahead, sim.lookahead_window);
         if let Some(hit) = self.compiled.lock().ok().and_then(|m| m.get(&full).cloned()) {
+            record_cache("compiled", true);
             return hit;
         }
+        record_cache("compiled", false);
         let built = Arc::new(compile_schedule(schedule, sim));
         if let Ok(mut m) = self.compiled.lock() {
             let fresh = m.len() as u32;
@@ -858,7 +879,39 @@ fn attach_schedule_search(
     tuning
 }
 
+/// Classify and count one candidate verdict. The `outcome` label is the
+/// assemble-stage fate: `ranked`, `oom` (simulated or statically proven),
+/// or `shape` (plan-level rejection).
+fn record_candidate(outcome: &Outcome) {
+    if !hanayo_metrics::enabled() {
+        return;
+    }
+    let label = match outcome {
+        Outcome::Simulated(result) if result.is_oom() => "oom",
+        Outcome::Simulated(_) => "ranked",
+        Outcome::StaticOom(_) => "oom",
+        Outcome::Shape(_) => "shape",
+    };
+    hanayo_metrics::counter_add("hanayo_tuner_candidates_total", &[("outcome", label)], 1);
+    if matches!(outcome, Outcome::StaticOom(_)) {
+        hanayo_metrics::counter_add("hanayo_tuner_static_prunes_total", &[], 1);
+    }
+}
+
 fn evaluate_candidate(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    opts: &TuneOptions,
+    dl_cache: &DeadlockCache,
+    caches: Option<&SweepCaches>,
+    cand: &(ParallelPlan, SimOptions, Option<String>),
+) -> (ParallelPlan, SimOptions, Outcome) {
+    let verdict = evaluate_candidate_inner(model, cluster, opts, dl_cache, caches, cand);
+    record_candidate(&verdict.2);
+    verdict
+}
+
+fn evaluate_candidate_inner(
     model: &ModelConfig,
     cluster: &ClusterSpec,
     opts: &TuneOptions,
@@ -920,10 +973,18 @@ pub fn tune(
     let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
     let dl_cache = DeadlockCache::default();
     let caches = opts.batched.then(SweepCaches::default);
+    // Inert off a TTY (one atomic add per candidate, no clock reads), so
+    // tests and CI see exactly the non-interactive path.
+    let progress = hanayo_metrics::Progress::new("sweep", space.len() as u64);
     let evaluated: Vec<_> = space
         .par_iter()
-        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand))
+        .map(|cand| {
+            let out = evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand);
+            progress.tick();
+            out
+        })
         .collect();
+    progress.finish();
     attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
 }
 

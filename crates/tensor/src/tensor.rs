@@ -194,6 +194,7 @@ impl Tensor {
     /// over output rows (disjoint writes).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        hanayo_metrics::count!("hanayo_gemm_dispatch_total", &[("kernel", "matmul")], 1);
         if reference_kernels() {
             return self.matmul_reference(other);
         }
@@ -245,6 +246,7 @@ impl Tensor {
     /// runs over rows `i` strictly ascending, exactly like the reference.
     pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "matmul_at_b shape mismatch");
+        hanayo_metrics::count!("hanayo_gemm_dispatch_total", &[("kernel", "at_b")], 1);
         if reference_kernels() {
             return self.transpose().matmul_reference(other);
         }
@@ -276,6 +278,7 @@ impl Tensor {
     /// single place to revisit the trade-off.
     pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_a_bt shape mismatch");
+        hanayo_metrics::count!("hanayo_gemm_dispatch_total", &[("kernel", "a_bt")], 1);
         if reference_kernels() {
             return self.matmul_reference(&other.transpose());
         }

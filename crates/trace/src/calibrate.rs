@@ -191,6 +191,56 @@ pub fn calibrate(trace: &Trace, stages: usize) -> Result<Calibration, CalibrateE
     })
 }
 
+/// Score one measure→calibrate→predict validation attempt and record it.
+///
+/// Returns the relative error `|predicted − measured| / measured`
+/// (infinite when `measured` is not a positive makespan, so a degenerate
+/// measurement can never masquerade as a pass). When the metrics registry
+/// is enabled the attempt lands as a `hanayo_calibrate_attempts_total`
+/// counter (labelled by verdict against `tolerance`) plus an observation
+/// of the error *percentage* in `hanayo_calibrate_rel_error_pct`; a
+/// structured `calibrate`-target log event carries the raw numbers.
+/// Recording observes only — the returned error is computed identically
+/// with everything disabled.
+pub fn record_validation_attempt(
+    attempt: u32,
+    predicted: f64,
+    measured: f64,
+    tolerance: f64,
+) -> f64 {
+    let rel_err = if measured > 0.0 && measured.is_finite() {
+        (predicted - measured).abs() / measured
+    } else {
+        f64::INFINITY
+    };
+    let within = rel_err < tolerance;
+    let verdict = if within { "within" } else { "exceeded" };
+    hanayo_metrics::count!("hanayo_calibrate_attempts_total", &[("tolerance", verdict)], 1);
+    // Clamp before the cast: an unmeasurable attempt lands in +Inf, not UB.
+    let pct = (rel_err * 100.0).min(u64::MAX as f64) as u64;
+    hanayo_metrics::observe!(
+        "hanayo_calibrate_rel_error_pct",
+        &[],
+        hanayo_metrics::PCT_BUCKETS,
+        pct
+    );
+    if hanayo_metrics::log::log_enabled(hanayo_metrics::log::Level::Info, "calibrate") {
+        hanayo_metrics::log::event(
+            hanayo_metrics::log::Level::Info,
+            "calibrate",
+            "validation attempt",
+            &[
+                ("attempt", hanayo_metrics::log::Field::U64(attempt as u64)),
+                ("predicted_s", hanayo_metrics::log::Field::F64(predicted)),
+                ("measured_s", hanayo_metrics::log::Field::F64(measured)),
+                ("rel_error_pct", hanayo_metrics::log::Field::F64(rel_err * 100.0)),
+                ("within_tolerance", hanayo_metrics::log::Field::Bool(within)),
+            ],
+        );
+    }
+    rel_err
+}
+
 impl Calibration {
     /// Number of calibrated stages.
     pub fn stages(&self) -> usize {

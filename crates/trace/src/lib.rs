@@ -39,6 +39,6 @@ pub mod event;
 pub mod gantt;
 
 pub use analysis::{analyze, TraceAnalysis};
-pub use calibrate::{calibrate, CalibrateError, Calibration};
+pub use calibrate::{calibrate, record_validation_attempt, CalibrateError, Calibration};
 pub use chrome::{chrome_trace_json, validate_chrome_json};
 pub use event::{Trace, TraceError, TraceEvent, TraceKind};

@@ -28,6 +28,9 @@
 //!   model, failure-injection plans, and the recovery cost model behind
 //!   the tuner's checkpoint-interval sweep (resume ≡ uninterrupted, by
 //!   construction and by test).
+//! * [`metrics`] — zero-perturbation observability: the shard-per-thread
+//!   metrics registry, the `HANAYO_LOG` structured-logging facade, and
+//!   the Prometheus/JSON expositions every long-running binary can emit.
 //! * [`repro`] — regeneration of every figure in the paper's evaluation.
 //!
 //! ## Quickstart
@@ -53,6 +56,7 @@ pub use hanayo_analyze as analyze;
 pub use hanayo_ckpt as ckpt;
 pub use hanayo_cluster as cluster;
 pub use hanayo_core as core;
+pub use hanayo_metrics as metrics;
 pub use hanayo_model as model;
 pub use hanayo_repro as repro;
 pub use hanayo_runtime as runtime;

@@ -1,0 +1,78 @@
+//! Golden observability exposition: the seeded demo scenario behind the
+//! `metrics` binary — a P=8/M=8 Hanayo-2w simulation, a serial sweep, an
+//! 8-device training run, a checkpoint round-trip and one calibration
+//! validation attempt — must render byte-identical Prometheus text and
+//! `hanayo-metrics-v1` JSON on every run and every machine.
+//!
+//! Two ingredients make that possible: the registry clock is pinned
+//! (every duration histogram collapses into its first bucket) and the
+//! one scheduling-dependent series (`hanayo_worker_mailbox_parked_peak`)
+//! is scrubbed before rendering. Everything that remains — worker op
+//! counts, GEMM dispatches, engine events and stalls, serial-sweep cache
+//! verdicts, checkpoint bytes, the calibration error histogram — is a
+//! pure function of the workload, and this test freezes it.
+//!
+//! To regenerate after an intentional instrumentation change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_metrics
+//! ```
+
+use hanayo::metrics;
+use hanayo::repro::metricsio::{demo_scenario, scrub_scheduling_dependent};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden exposition {path:?} ({e}); \
+             regenerate with GOLDEN_UPDATE=1 cargo test --test golden_metrics"
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "{name}: exposition drifted from the golden snapshot; if the \
+         instrumentation change is intentional, regenerate with \
+         GOLDEN_UPDATE=1 cargo test --test golden_metrics"
+    );
+}
+
+/// One test function on purpose: the registry is process-global, and a
+/// second test running concurrently would interleave its counts into
+/// this snapshot.
+#[test]
+fn golden_metrics_exposition_p8_m8() {
+    metrics::reset();
+    // The same pinned instant the `metrics` binary uses, so binary and
+    // test freeze identical documents.
+    metrics::set_clock(metrics::ClockMode::Fixed(1_700_000_000_000_000_000));
+    metrics::set_enabled(true);
+    demo_scenario().expect("demo scenario");
+    metrics::set_enabled(false);
+
+    let mut snap = metrics::snapshot();
+    scrub_scheduling_dependent(&mut snap);
+    let prom = metrics::expo::prometheus(&snap);
+    let json = metrics::expo::json(&snap);
+
+    // The frozen document must also be well-formed exposition text.
+    let samples = metrics::expo::validate_prometheus(&prom).expect("prometheus grammar");
+    assert!(samples > 50, "suspiciously small exposition: {samples} samples");
+
+    check("metrics_p8_m8.prom", &prom);
+    check("metrics_p8_m8.json", &json);
+
+    metrics::reset();
+    metrics::set_clock(metrics::ClockMode::Wall);
+}

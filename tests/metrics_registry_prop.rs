@@ -1,0 +1,96 @@
+//! Property: the shard-per-thread metrics registry is linearizable for
+//! the aggregates it reports. However an arbitrary batch of counter
+//! increments and histogram observations is split across concurrently
+//! running writer threads, the merged snapshot equals a serial replay of
+//! the same batch: counter totals are exact sums, histogram bucket
+//! counts and value sums are exact, and no series appears or vanishes.
+//! (Gauges are last-write-wins by global sequence and so are *not*
+//! interleaving-independent; they are exercised by the registry's unit
+//! tests instead.)
+//!
+//! This file holds exactly one proptest on purpose: the registry is
+//! process-global, and a second test mutating it concurrently would
+//! corrupt the counts under comparison.
+
+use proptest::prelude::*;
+use std::thread;
+
+/// One generated write: which series it lands in and what it carries.
+#[derive(Debug, Clone)]
+enum Op {
+    /// (`series index`, `delta`)
+    Count(usize, u64),
+    /// (`series index`, `value`)
+    Observe(usize, u64),
+}
+
+const NAMES: [&str; 3] = ["prop_counter_a", "prop_counter_b", "prop_hist"];
+const LABELS: [&[(&str, &str)]; 2] = [&[], &[("shard", "x")]];
+const BOUNDS: &[u64] = &[10, 100, 1_000];
+
+fn apply(op: &Op) {
+    match *op {
+        Op::Count(i, delta) => {
+            hanayo::metrics::counter_add(NAMES[i % 2], LABELS[i / 2 % 2], delta);
+        }
+        Op::Observe(i, value) => {
+            hanayo::metrics::observe(NAMES[2], LABELS[i % 2], BOUNDS, value);
+        }
+    }
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        ((0usize..4), (0u64..1_000)).prop_map(|(i, d)| Op::Count(i, d)),
+        ((0usize..2), (0u64..2_000)).prop_map(|(i, v)| Op::Observe(i, v)),
+    ]
+    .boxed()
+}
+
+/// Render the registry's current contents in a canonical, comparable
+/// form. The Prometheus text exposition already sorts series and buckets
+/// deterministically, so it doubles as the equality witness.
+fn render() -> String {
+    hanayo::metrics::expo::prometheus(&hanayo::metrics::snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // No explicit `#[test]` here: the shim's `proptest!` adds one, and a
+    // doubled attribute registers the test twice — two copies would then
+    // race on the process-global registry.
+    fn concurrent_writers_equal_serial_replay(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        writers in 2usize..=6,
+    ) {
+        // Serial replay: one thread applies the whole batch in order.
+        hanayo::metrics::reset();
+        hanayo::metrics::set_enabled(true);
+        for op in &ops {
+            apply(op);
+        }
+        let serial = render();
+
+        // Concurrent run: the same batch dealt round-robin to `writers`
+        // threads, each hammering its own shard with no coordination.
+        hanayo::metrics::reset();
+        let chunks: Vec<Vec<Op>> = (0..writers)
+            .map(|w| ops.iter().skip(w).step_by(writers).cloned().collect())
+            .collect();
+        thread::scope(|s| {
+            for chunk in &chunks {
+                s.spawn(move || {
+                    for op in chunk {
+                        apply(op);
+                    }
+                });
+            }
+        });
+        let concurrent = render();
+
+        hanayo::metrics::set_enabled(false);
+        hanayo::metrics::reset();
+        prop_assert_eq!(serial, concurrent);
+    }
+}

@@ -111,7 +111,7 @@ fn calibrated_sim_predicts_the_measured_runtime_makespan() {
     let schedule = build_schedule(&cfg).unwrap();
     let cluster = fc_full_nvlink(p as usize);
     let mut errors = Vec::new();
-    for _ in 0..3 {
+    for attempt in 0..3u32 {
         let (trace, stages) = traced_run(p, b, scheme);
         trace.validate().unwrap();
         let measured = trace.duration();
@@ -124,7 +124,14 @@ fn calibrated_sim_predicts_the_measured_runtime_makespan() {
 
         let report = simulate(&schedule, &table, &cluster, SimOptions::default());
         let predicted = report.iteration_time;
-        let rel_err = (predicted - measured).abs() / measured;
+        // Scores the attempt and, with metrics enabled, records the error
+        // percentage histogram + structured event.
+        let rel_err = hanayo::trace::record_validation_attempt(
+            attempt,
+            predicted,
+            measured,
+            CALIBRATION_TOLERANCE,
+        );
         if rel_err < CALIBRATION_TOLERANCE {
             return;
         }
