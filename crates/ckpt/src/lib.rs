@@ -32,7 +32,8 @@ pub mod failure;
 pub mod recovery;
 
 pub use checkpoint::{
-    config_fingerprint, Checkpoint, CkptError, OptimizerState, RngCursor, SCHEMA_VERSION,
+    config_fingerprint, fingerprint_parts, Checkpoint, CkptError, OptimizerState, RngCursor,
+    SCHEMA_VERSION,
 };
 pub use failure::{CheckpointPolicy, FailurePlan};
 pub use recovery::{RecoveryEval, RecoveryOptions};

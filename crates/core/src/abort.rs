@@ -1,0 +1,69 @@
+//! Cooperative cancellation.
+//!
+//! [`AbortFlag`] started life inside the runtime's mailbox machinery as
+//! the latch a crashing worker trips so its peers unwind instead of
+//! deadlocking. It lives here, at the bottom of the dependency graph,
+//! because the same latch now also threads *user-initiated* cancellation
+//! through the tuner (`hanayo-sim`) and the planning service
+//! (`hanayo-serve`): a long sweep checks the flag between candidate
+//! batches and returns a typed `Cancelled` error once its client is gone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Cooperative cancellation latch shared by every participant of one
+/// run — the workers of a training run, or the candidate batches of a
+/// tuner sweep. Tripping is one-way and idempotent; observers poll
+/// [`AbortFlag::is_tripped`] at their own checkpoints and unwind cleanly.
+#[derive(Debug, Default)]
+pub struct AbortFlag {
+    tripped: AtomicBool,
+}
+
+impl AbortFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> AbortFlag {
+        AbortFlag::default()
+    }
+
+    /// Signal every observer to stop.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+
+    /// Has someone aborted the run?
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_once_and_stays_tripped() {
+        let flag = AbortFlag::new();
+        assert!(!flag.is_tripped());
+        flag.trip();
+        assert!(flag.is_tripped());
+        flag.trip();
+        assert!(flag.is_tripped());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        use std::sync::Arc;
+        let flag = Arc::new(AbortFlag::new());
+        let observer = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                while !flag.is_tripped() {
+                    std::thread::yield_now();
+                }
+                true
+            })
+        };
+        flag.trip();
+        assert!(observer.join().unwrap_or(false));
+    }
+}

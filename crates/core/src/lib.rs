@@ -33,6 +33,7 @@
 //! memory accounting used in Fig. 3's `M_w`/`M_a` annotations lives in
 //! [`memory`], and the textual Gantt rendering of Figs. 3/5/6 in [`gantt`].
 
+pub mod abort;
 pub mod action;
 pub mod analysis;
 pub mod chain;

@@ -10,6 +10,11 @@
 //!     --model bert64 --cluster fc --gpus 8 --micro-batches 8 --scheme hanayo_w2
 //! ```
 //!
+//! The document is built by [`hanayo_serve::schema::run_analyze`] — the
+//! same code path the resident planning service's `POST /v1/analyze`
+//! endpoint answers with, so `--compact` stdout is byte-identical to a
+//! served response for the equivalent request.
+//!
 //! `--validate <file>` re-reads a previously emitted document, re-derives
 //! the report from scratch, and then *simulates* the schedule to check
 //! every static claim against the engine: the simulation must complete
@@ -18,26 +23,15 @@
 //! time — the CI smoke check. See the README's "Static schedule analysis"
 //! section.
 
-use hanayo_analyze::{analyze, AnalysisReport};
-use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink, tencent_v100};
-use hanayo_cluster::ClusterSpec;
-use hanayo_core::action::Schedule;
-use hanayo_core::config::{PipelineConfig, Scheme};
-use hanayo_core::schedule::build_schedule;
-use hanayo_model::{CostTable, ModelConfig, Recompute};
+use hanayo_analyze::analyze;
+use hanayo_model::Recompute;
+use hanayo_serve::schema::{rebuild_analyze, run_analyze, AnalyzeDoc, AnalyzeRequest, RunError};
 use hanayo_sim::{try_simulate, SimOptions};
-use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 
 #[derive(Debug)]
 struct Args {
-    model: String,
-    cluster: String,
-    gpus: usize,
-    micro_batches: u32,
-    micro_batch_size: u32,
-    scheme: String,
-    recompute: Recompute,
+    request: AnalyzeRequest,
     compact: bool,
     validate: Option<String>,
 }
@@ -45,13 +39,15 @@ struct Args {
 impl Default for Args {
     fn default() -> Args {
         Args {
-            model: "bert64".to_string(),
-            cluster: "fc".to_string(),
-            gpus: 8,
-            micro_batches: 8,
-            micro_batch_size: 1,
-            scheme: "hanayo_w2".to_string(),
-            recompute: Recompute::None,
+            request: AnalyzeRequest {
+                model: "bert64".to_string(),
+                cluster: "fc".to_string(),
+                gpus: 8,
+                scheme: "hanayo_w2".to_string(),
+                micro_batches: 8,
+                micro_batch_size: 1,
+                recompute: Recompute::None,
+            },
             compact: false,
             validate: None,
         }
@@ -82,27 +78,28 @@ FLAGS (all optional):
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
+    let req = &mut args.request;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
-            "--model" => args.model = value("--model")?,
-            "--cluster" => args.cluster = value("--cluster")?,
-            "--gpus" => args.gpus = value("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--model" => req.model = value("--model")?,
+            "--cluster" => req.cluster = value("--cluster")?,
+            "--gpus" => req.gpus = value("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
             "--micro-batches" => {
-                args.micro_batches = value("--micro-batches")?
+                req.micro_batches = value("--micro-batches")?
                     .parse()
                     .map_err(|e| format!("--micro-batches: {e}"))?
             }
             "--micro-batch-size" => {
-                args.micro_batch_size = value("--micro-batch-size")?
+                req.micro_batch_size = value("--micro-batch-size")?
                     .parse()
                     .map_err(|e| format!("--micro-batch-size: {e}"))?
             }
-            "--scheme" => args.scheme = value("--scheme")?,
+            "--scheme" => req.scheme = value("--scheme")?,
             "--recompute" => {
                 let m = value("--recompute")?;
-                args.recompute = Recompute::ALL
+                req.recompute = Recompute::ALL
                     .into_iter()
                     .find(|mode| mode.label() == m)
                     .ok_or_else(|| format!("--recompute: unknown mode {m}"))?
@@ -116,79 +113,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn model_for(name: &str) -> Result<ModelConfig, String> {
-    match name {
-        "bert64" => Ok(ModelConfig::bert64()),
-        "gpt128" => Ok(ModelConfig::gpt128()),
-        other => Err(format!("unknown model {other} (expected bert64 or gpt128)")),
-    }
-}
-
-fn cluster_for(name: &str, gpus: usize) -> Result<ClusterSpec, String> {
-    match name {
-        "pc" => Ok(pc_partial_nvlink(gpus)),
-        "fc" => Ok(fc_full_nvlink(gpus)),
-        "tacc" => Ok(lonestar6(gpus)),
-        "tc" => Ok(tencent_v100(gpus)),
-        other => Err(format!("unknown cluster {other} (expected pc, fc, tacc or tc)")),
-    }
-}
-
-fn scheme_for(name: &str) -> Result<Scheme, String> {
-    if let Some(waves) = name.strip_prefix("hanayo_w") {
-        let waves = waves.parse().map_err(|e| format!("--scheme {name}: {e}"))?;
-        return Ok(Scheme::Hanayo { waves });
-    }
-    if let Some(chunks) = name.strip_prefix("interleaved") {
-        let chunks = chunks.parse().map_err(|e| format!("--scheme {name}: {e}"))?;
-        return Ok(Scheme::Interleaved { chunks });
-    }
-    match name {
-        "gpipe" => Ok(Scheme::GPipe),
-        "dapple" => Ok(Scheme::Dapple),
-        "chimera" => Ok(Scheme::Chimera),
-        "pipedream" => Ok(Scheme::AsyncPipeDream),
-        other => Err(format!(
-            "unknown scheme {other} (expected gpipe, dapple, chimera, pipedream, \
-             interleaved<C> or hanayo_w<W>)"
-        )),
-    }
-}
-
-/// The document this binary prints (and re-validates).
-#[derive(Debug, Serialize, Deserialize)]
-struct AnalyzeDoc {
-    /// Model name as accepted by `--model` (rebuilds the cost model).
-    model: String,
-    /// Cluster name as accepted by `--cluster`.
-    cluster: String,
-    /// Cluster size (= pipeline width).
-    gpus: usize,
-    /// Scheme name as accepted by `--scheme`.
-    scheme: String,
-    /// Micro-batches per iteration.
-    micro_batches: u32,
-    /// Sequences per micro-batch.
-    micro_batch_size: u32,
-    /// Activation recomputation mode the cost table was built with.
-    recompute: Recompute,
-    /// The full static-analysis report the claims below are read from.
-    report: AnalysisReport,
-}
-
-/// Rebuild the schedule, cost table and cluster a document describes —
-/// the report must be a pure function of these three.
-fn rebuild(doc: &AnalyzeDoc) -> Result<(Schedule, CostTable, ClusterSpec), String> {
-    let model = model_for(&doc.model)?;
-    let cluster = cluster_for(&doc.cluster, doc.gpus)?;
-    let scheme = scheme_for(&doc.scheme)?;
-    let cfg = PipelineConfig::new(doc.gpus as u32, doc.micro_batches, scheme)
-        .map_err(|e| format!("invalid pipeline shape: {e}"))?;
-    let schedule = build_schedule(&cfg).map_err(|e| format!("building {}: {e}", doc.scheme))?;
-    let cost = CostTable::build_with(&model, cfg.stages(), doc.micro_batch_size, doc.recompute);
-    Ok((schedule, cost, cluster))
-}
-
 /// `--validate` mode: re-derive the report from scratch, then simulate and
 /// require the engine to confirm every static claim — completion (the
 /// deadlock verdict), *exact* peak-memory equality, and the critical path
@@ -197,7 +121,7 @@ fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc: AnalyzeDoc =
         serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    let (schedule, cost, cluster) = rebuild(&doc)?;
+    let (schedule, cost, cluster) = rebuild_analyze(&doc)?;
 
     let fresh = analyze(&schedule, &cost, &cluster)
         .map_err(|e| format!("re-analysis rejected the schedule: {e}"))?;
@@ -242,25 +166,10 @@ fn validate(path: &str) -> Result<(), String> {
 }
 
 fn run(args: &Args) -> Result<String, String> {
-    let model = model_for(&args.model)?;
-    let cluster = cluster_for(&args.cluster, args.gpus)?;
-    let scheme = scheme_for(&args.scheme)?;
-    let cfg = PipelineConfig::new(args.gpus as u32, args.micro_batches, scheme)
-        .map_err(|e| format!("invalid pipeline shape: {e}"))?;
-    let schedule = build_schedule(&cfg).map_err(|e| format!("building {}: {e}", args.scheme))?;
-    let cost = CostTable::build_with(&model, cfg.stages(), args.micro_batch_size, args.recompute);
-    let report = analyze(&schedule, &cost, &cluster)
-        .map_err(|e| format!("static analysis rejected {}: {e}", args.scheme))?;
-    let doc = AnalyzeDoc {
-        model: args.model.clone(),
-        cluster: args.cluster.clone(),
-        gpus: args.gpus,
-        scheme: args.scheme.clone(),
-        micro_batches: args.micro_batches,
-        micro_batch_size: args.micro_batch_size,
-        recompute: args.recompute,
-        report,
-    };
+    let doc = run_analyze(&args.request).map_err(|e| match e {
+        RunError::BadRequest(msg) => msg,
+        other => other.to_string(),
+    })?;
     if args.compact { serde_json::to_string(&doc) } else { serde_json::to_string_pretty(&doc) }
         .map_err(|e| format!("serialising the document failed: {e}"))
 }

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 /// Crates whose library sources the gate covers, relative to the repo
 /// root. Benches, shims and the repro binaries are out of scope: a panic
 /// there aborts a developer tool, not a tuning or training run.
-const SCOPES: [&str; 11] = [
+const SCOPES: [&str; 12] = [
     "crates/analyze/src",
     "crates/ckpt/src",
     "crates/cluster/src",
@@ -31,6 +31,7 @@ const SCOPES: [&str; 11] = [
     "crates/metrics/src",
     "crates/model/src",
     "crates/runtime/src",
+    "crates/serve/src",
     "crates/sim/src",
     "crates/tensor/src",
     "crates/trace/src",

@@ -13,29 +13,21 @@
 //!     --model bert64 --cluster tacc --gpus 8 --batch 16 --wide --top 10
 //! ```
 //!
+//! The document itself is built by [`hanayo_serve::schema`] — the same
+//! code path the resident planning service's `POST /v1/tune` endpoint
+//! answers with, so this binary's `--compact` stdout is byte-identical
+//! to a served response for the equivalent request.
+//!
 //! See the README's "Strategy sweep binary" section for the JSON schema.
 
-use hanayo_cluster::topology::{fc_full_nvlink, lonestar6, pc_partial_nvlink, tencent_v100};
-use hanayo_cluster::ClusterSpec;
-use hanayo_model::{ModelConfig, Recompute};
-use hanayo_sim::tuner::{tune, tune_serial, Rejection, TuneOptions, Tuning};
-use serde::Serialize;
+use hanayo_model::Recompute;
+use hanayo_serve::schema::{run_tune, RunError, TuneRequest};
+use hanayo_sim::TuneContext;
 use std::process::ExitCode;
 
 #[derive(Debug)]
 struct Args {
-    model: String,
-    cluster: String,
-    gpus: usize,
-    batch: u32,
-    micro_batch_size: u32,
-    train_bytes_per_param: u32,
-    min_pp: u32,
-    waves: Vec<u32>,
-    recompute: Option<Vec<Recompute>>,
-    wide: bool,
-    serial: bool,
-    top: Option<usize>,
+    request: TuneRequest,
     compact: bool,
     metrics: Option<String>,
 }
@@ -43,18 +35,20 @@ struct Args {
 impl Default for Args {
     fn default() -> Args {
         Args {
-            model: "bert64".to_string(),
-            cluster: "tacc".to_string(),
-            gpus: 8,
-            batch: 16,
-            micro_batch_size: 1,
-            train_bytes_per_param: 8,
-            min_pp: 2,
-            waves: vec![1, 2, 4, 8],
-            recompute: None,
-            wide: false,
-            serial: false,
-            top: None,
+            request: TuneRequest {
+                model: "bert64".to_string(),
+                cluster: "tacc".to_string(),
+                gpus: 8,
+                batch: 16,
+                micro_batch_size: 1,
+                train_bytes_per_param: 8,
+                min_pp: 2,
+                waves: vec![1, 2, 4, 8],
+                recompute: None,
+                wide: false,
+                serial: false,
+                top: None,
+            },
             compact: false,
             metrics: None,
         }
@@ -93,31 +87,32 @@ FLAGS (all optional):
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
+    let req = &mut args.request;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
-            "--model" => args.model = value("--model")?,
-            "--cluster" => args.cluster = value("--cluster")?,
-            "--gpus" => args.gpus = value("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--model" => req.model = value("--model")?,
+            "--cluster" => req.cluster = value("--cluster")?,
+            "--gpus" => req.gpus = value("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
             "--batch" => {
-                args.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+                req.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
             }
             "--micro-batch-size" => {
-                args.micro_batch_size = value("--micro-batch-size")?
+                req.micro_batch_size = value("--micro-batch-size")?
                     .parse()
                     .map_err(|e| format!("--micro-batch-size: {e}"))?
             }
             "--train-bytes-per-param" => {
-                args.train_bytes_per_param = value("--train-bytes-per-param")?
+                req.train_bytes_per_param = value("--train-bytes-per-param")?
                     .parse()
                     .map_err(|e| format!("--train-bytes-per-param: {e}"))?
             }
             "--min-pp" => {
-                args.min_pp = value("--min-pp")?.parse().map_err(|e| format!("--min-pp: {e}"))?
+                req.min_pp = value("--min-pp")?.parse().map_err(|e| format!("--min-pp: {e}"))?
             }
             "--waves" => {
-                args.waves = value("--waves")?
+                req.waves = value("--waves")?
                     .split(',')
                     .map(|w| w.trim().parse().map_err(|e| format!("--waves: {e}")))
                     .collect::<Result<_, _>>()?
@@ -125,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
             "--recompute" => {
                 // Resolve by the modes' own labels so a future variant is
                 // parseable the day it joins `Recompute::ALL`.
-                args.recompute = Some(
+                req.recompute = Some(
                     value("--recompute")?
                         .split(',')
                         .map(|m| {
@@ -138,9 +133,9 @@ fn parse_args() -> Result<Args, String> {
                         .collect::<Result<_, _>>()?,
                 )
             }
-            "--wide" => args.wide = true,
-            "--serial" => args.serial = true,
-            "--top" => args.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
+            "--wide" => req.wide = true,
+            "--serial" => req.serial = true,
+            "--top" => req.top = Some(value("--top")?.parse().map_err(|e| format!("--top: {e}"))?),
             "--compact" => args.compact = true,
             "--metrics" => args.metrics = Some(value("--metrics")?),
             "--help" | "-h" => return Err(String::new()),
@@ -148,162 +143,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-fn model_for(name: &str) -> Result<ModelConfig, String> {
-    match name {
-        "bert64" => Ok(ModelConfig::bert64()),
-        "gpt128" => Ok(ModelConfig::gpt128()),
-        other => Err(format!("unknown model {other} (expected bert64 or gpt128)")),
-    }
-}
-
-fn cluster_for(name: &str, gpus: usize) -> Result<ClusterSpec, String> {
-    match name {
-        "pc" => Ok(pc_partial_nvlink(gpus)),
-        "fc" => Ok(fc_full_nvlink(gpus)),
-        "tacc" => Ok(lonestar6(gpus)),
-        "tc" => Ok(tencent_v100(gpus)),
-        other => Err(format!("unknown cluster {other} (expected pc, fc, tacc or tc)")),
-    }
-}
-
-/// One row of the ranked table.
-#[derive(Debug, Serialize)]
-struct RankedRow {
-    rank: usize,
-    method: String,
-    label: String,
-    pp: u32,
-    dp: u32,
-    micro_batches: u32,
-    micro_batch_size: u32,
-    prefetch: bool,
-    recv_lookahead: usize,
-    recompute: String,
-    throughput_seq_per_s: f64,
-    iteration_time_s: f64,
-    pipeline_time_s: f64,
-    allreduce_time_s: f64,
-    bubble_ratio: f64,
-    peak_gb: f64,
-}
-
-/// A candidate that simulated fine but exceeded device memory.
-#[derive(Debug, Serialize)]
-struct OomRow {
-    method: String,
-    pp: u32,
-    dp: u32,
-    micro_batches: u32,
-    micro_batch_size: u32,
-    prefetch: bool,
-    recompute: String,
-    peak_gb: f64,
-    capacity_gb: f64,
-    oom_devices: Vec<usize>,
-}
-
-/// A candidate that could not be evaluated at all.
-#[derive(Debug, Serialize)]
-struct InvalidRow {
-    method: String,
-    pp: u32,
-    dp: u32,
-    recompute: String,
-    reason: String,
-}
-
-/// The document this binary prints.
-#[derive(Debug, Serialize)]
-struct SweepTable {
-    model: String,
-    cluster: String,
-    devices: usize,
-    global_micro_batches: u32,
-    micro_batch_size: u32,
-    wide: bool,
-    recompute_modes: Vec<String>,
-    candidates_evaluated: usize,
-    ranked: Vec<RankedRow>,
-    rejected_oom: Vec<OomRow>,
-    rejected_invalid_shape: Vec<InvalidRow>,
-}
-
-fn build_table(
-    args: &Args,
-    tuning: &Tuning,
-    cluster: &ClusterSpec,
-    model: &ModelConfig,
-    modes: &[Recompute],
-) -> SweepTable {
-    let gb = |bytes: u64| bytes as f64 / 1e9;
-    let ranked = tuning
-        .ranked
-        .iter()
-        .take(args.top.unwrap_or(usize::MAX))
-        .enumerate()
-        .map(|(i, c)| RankedRow {
-            rank: i + 1,
-            method: c.plan.method.to_string(),
-            label: c.plan.method.label(),
-            pp: c.plan.pp,
-            dp: c.plan.dp,
-            micro_batches: c.plan.micro_batches,
-            micro_batch_size: c.plan.micro_batch_size,
-            prefetch: c.sim.prefetch,
-            recv_lookahead: c.sim.recv_lookahead,
-            recompute: c.plan.recompute.label().to_string(),
-            throughput_seq_per_s: c.result.throughput,
-            iteration_time_s: c.result.iteration_time,
-            pipeline_time_s: c.result.pipeline_time,
-            allreduce_time_s: c.result.allreduce_time,
-            bubble_ratio: c.result.bubble_ratio,
-            peak_gb: gb(c.result.peak_mem.iter().copied().max().unwrap_or(0)),
-        })
-        .collect();
-    let mut rejected_oom = Vec::new();
-    let mut rejected_invalid_shape = Vec::new();
-    for r in &tuning.rejected {
-        match r {
-            Rejection::Oom { plan, sim, peak_bytes, capacity_bytes, devices } => {
-                rejected_oom.push(OomRow {
-                    method: plan.method.to_string(),
-                    pp: plan.pp,
-                    dp: plan.dp,
-                    micro_batches: plan.micro_batches,
-                    micro_batch_size: plan.micro_batch_size,
-                    prefetch: sim.prefetch,
-                    recompute: plan.recompute.label().to_string(),
-                    peak_gb: gb(*peak_bytes),
-                    capacity_gb: gb(*capacity_bytes),
-                    oom_devices: devices.clone(),
-                })
-            }
-            Rejection::InvalidShape { plan, reason, .. } => {
-                rejected_invalid_shape.push(InvalidRow {
-                    method: plan.method.to_string(),
-                    pp: plan.pp,
-                    dp: plan.dp,
-                    recompute: plan.recompute.label().to_string(),
-                    reason: reason.clone(),
-                })
-            }
-        }
-    }
-    SweepTable {
-        model: model.name.clone(),
-        cluster: cluster.name.clone(),
-        devices: cluster.len(),
-        global_micro_batches: args.batch,
-        micro_batch_size: args.micro_batch_size,
-        wide: args.wide,
-        recompute_modes: modes.iter().map(|m| m.label().to_string()).collect(),
-        candidates_evaluated: tuning.ranked.len() + tuning.rejected.len(),
-        ranked,
-        rejected_oom,
-        rejected_invalid_shape,
-    }
 }
 
 fn main() -> ExitCode {
@@ -318,36 +157,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let model = match model_for(&args.model) {
-        Ok(m) => m.with_train_bytes_per_param(args.train_bytes_per_param),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let cluster = match cluster_for(&args.cluster, args.gpus) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut opts =
-        TuneOptions { waves: args.waves.clone(), min_pp: args.min_pp, ..Default::default() };
-    if args.wide {
-        opts = opts.wide();
-    }
-    // An explicit --recompute list overrides --wide's both-modes default.
-    if let Some(modes) = &args.recompute {
-        opts.recompute_modes = modes.clone();
-    }
 
     if args.metrics.is_some() {
         hanayo_repro::metricsio::enable_metrics();
     }
-    let run = if args.serial { tune_serial } else { tune };
-    let tuning = run(&model, &cluster, args.batch, args.micro_batch_size, &opts);
+    // A default context (no abort, no shared caches) reproduces the plain
+    // tune()/tune_serial() behaviour exactly, so Cancelled cannot happen.
+    let table = match run_tune(&args.request, &TuneContext::default()) {
+        Ok(table) => table,
+        Err(RunError::BadRequest(msg)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        Err(e @ RunError::Cancelled { .. }) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(path) = &args.metrics {
         match hanayo_repro::metricsio::write_metrics(path) {
             Ok(n) => eprintln!("metrics: wrote {n} series to {path}"),
@@ -357,7 +183,6 @@ fn main() -> ExitCode {
             }
         }
     }
-    let table = build_table(&args, &tuning, &cluster, &model, &opts.recompute_variants());
     let json = if args.compact {
         serde_json::to_string(&table)
     } else {

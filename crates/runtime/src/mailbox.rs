@@ -10,35 +10,14 @@ use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hanayo_core::action::MsgTag;
 use hanayo_tensor::Tensor;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-/// Cooperative cancellation latch shared by every worker of a training
-/// run. A worker that hits an invariant violation trips the flag; peers
-/// blocked in [`Mailbox::recv_abortable`] notice within one poll interval
-/// and unwind cleanly instead of deadlocking on a message that will never
-/// be sent.
-#[derive(Debug, Default)]
-pub struct AbortFlag {
-    tripped: AtomicBool,
-}
-
-impl AbortFlag {
-    /// A fresh, untripped flag.
-    pub fn new() -> AbortFlag {
-        AbortFlag::default()
-    }
-
-    /// Signal every observer to stop.
-    pub fn trip(&self) {
-        self.tripped.store(true, Ordering::SeqCst);
-    }
-
-    /// Has someone aborted the run?
-    pub fn is_tripped(&self) -> bool {
-        self.tripped.load(Ordering::SeqCst)
-    }
-}
+// The cooperative cancellation latch a crashing worker trips so peers
+// blocked in [`Mailbox::recv_abortable`] unwind instead of deadlocking.
+// It lives in `hanayo-core` (the tuner and the planning service thread
+// the same latch through sweep cancellation); re-exported here so every
+// existing `runtime::mailbox::AbortFlag` path keeps compiling.
+pub use hanayo_core::abort::AbortFlag;
 
 /// One in-flight tensor message.
 #[derive(Debug, Clone)]

@@ -1,0 +1,516 @@
+//! The resident planning host: a TCP accept loop, thread-per-connection
+//! HTTP handling, the endpoint router, and graceful drain.
+//!
+//! ## Endpoints
+//!
+//! | method | path                  | semantics                                     |
+//! |--------|-----------------------|-----------------------------------------------|
+//! | GET    | `/healthz`            | liveness, `ok`                                |
+//! | GET    | `/metrics`            | Prometheus text exposition                    |
+//! | POST   | `/v1/plan`            | evaluate one explicit plan                    |
+//! | POST   | `/v1/tune`            | synchronous sweep (deduplicated, cached)      |
+//! | POST   | `/v1/simulate`        | simulate one schedule                         |
+//! | POST   | `/v1/analyze`         | static schedule verification                  |
+//! | POST   | `/v1/jobs/tune`       | background sweep → `202 {job_id}`             |
+//! | GET    | `/v1/jobs/<id>`       | job status (state + progress counters)        |
+//! | GET    | `/v1/jobs/<id>/result`| `200` body / `202` still running / `409`/`500`|
+//! | POST   | `/v1/jobs/<id>/cancel`| drop interest; abort at zero interest         |
+//! | POST   | `/shutdown`           | begin draining, then stop                     |
+//!
+//! Success bodies are byte-identical to the corresponding one-shot CLI's
+//! `--compact` stdout — both are produced by the same
+//! [`crate::schema`] builders and both end in `\n`.
+
+use crate::http::{read_request, write_response, ReadError, Request, Response, READ_TIMEOUT};
+use crate::jobs::{JobRegistry, JobState};
+use crate::schema::{
+    run_analyze, run_plan, run_simulate, run_tune, AnalyzeRequest, PlanRequest, RunError,
+    SimulateRequest, TuneRequest,
+};
+use crate::state::{Join, ServeState};
+use hanayo_core::abort::AbortFlag;
+use hanayo_metrics::{counter_add, monotonic_nanos, observe, NANOS_BUCKETS};
+use hanayo_sim::TuneContext;
+use serde::Serialize;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Everything the accept loop, connection threads and job workers share.
+pub(crate) struct Shared {
+    pub state: ServeState,
+    pub jobs: JobRegistry,
+    /// Tripped once: the accept loop stops, connections close after the
+    /// in-flight exchange, and every running sweep aborts at its next
+    /// checkpoint.
+    pub shutdown: Arc<AbortFlag>,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            state: ServeState::default(),
+            jobs: JobRegistry::default(),
+            shutdown: Arc::new(AbortFlag::new()),
+        }
+    }
+
+    /// Flip into draining mode: refuse new work, abort running sweeps.
+    fn begin_shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.shutdown.trip();
+        self.jobs.abort_all();
+    }
+}
+
+#[derive(Serialize)]
+struct ErrorDoc {
+    error: String,
+}
+
+/// A one-line JSON error body (newline-terminated like every body).
+fn error_body(msg: &str) -> String {
+    match serde_json::to_string(&ErrorDoc { error: msg.to_string() }) {
+        Ok(s) => s + "\n",
+        Err(_) => "{\"error\":\"unserialisable error\"}\n".to_string(),
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::json(400, error_body(msg))
+}
+
+/// Render a successful schema document: compact JSON + the CLI's
+/// trailing newline.
+fn doc_body<T: Serialize>(doc: &T) -> (u16, String) {
+    match serde_json::to_string(doc) {
+        Ok(s) => (200, s + "\n"),
+        Err(e) => (500, error_body(&format!("serialising the response failed: {e}"))),
+    }
+}
+
+fn outcome_body<T: Serialize>(outcome: Result<T, RunError>) -> (u16, String) {
+    match outcome {
+        Ok(doc) => doc_body(&doc),
+        Err(RunError::BadRequest(msg)) => (400, error_body(&msg)),
+        Err(e @ RunError::Cancelled { .. }) => (503, error_body(&e.to_string())),
+    }
+}
+
+/// Parse a JSON request body into a typed request.
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| bad_request(&format!("request body is not utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| bad_request(&format!("parsing request: {e}")))
+}
+
+/// The static label a request is accounted under in the metrics.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/plan" => "plan",
+        "/v1/tune" => "tune",
+        "/v1/simulate" => "simulate",
+        "/v1/analyze" => "analyze",
+        "/v1/jobs/tune" => "jobs_submit",
+        "/shutdown" => "shutdown",
+        p if p.starts_with("/v1/jobs/") && p.ends_with("/cancel") => "jobs_cancel",
+        p if p.starts_with("/v1/jobs/") && p.ends_with("/result") => "jobs_result",
+        p if p.starts_with("/v1/jobs/") => "jobs_status",
+        _ => "other",
+    }
+}
+
+/// If the leader of an identical-request group dies without publishing,
+/// its followers would wait forever; this guard turns that into a 500.
+struct PublishGuard<'a> {
+    shared: &'a Shared,
+    key: &'a str,
+    armed: bool,
+}
+
+impl Drop for PublishGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared
+                .state
+                .inflight
+                .publish(self.key, (500, error_body("the leading request aborted")));
+        }
+    }
+}
+
+/// Synchronous `tune`: canonicalise the request, join or lead the
+/// in-flight group, compute behind the shared per-configuration caches.
+fn handle_tune(shared: &Shared, body: &[u8]) -> Response {
+    let req: TuneRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let key = match serde_json::to_string(&req) {
+        Ok(k) => k,
+        Err(e) => return bad_request(&format!("canonicalising request: {e}")),
+    };
+    match shared.state.inflight.join(&key) {
+        Join::Joined(status, body) => Response::json(status, body),
+        Join::Leader => {
+            let mut guard = PublishGuard { shared, key: &key, armed: true };
+            let ctx = TuneContext {
+                caches: Some(shared.state.caches_for(req.config_key())),
+                abort: Some(Arc::clone(&shared.shutdown)),
+                progress: None,
+                checkpoint_every: 0,
+            };
+            let (status, body) = outcome_body(run_tune(&req, &ctx));
+            guard.armed = false;
+            drop(guard);
+            shared.state.inflight.publish(&key, (status, body.clone()));
+            Response::json(status, body)
+        }
+    }
+}
+
+/// Acknowledgement for a background-job submission.
+#[derive(Serialize)]
+struct JobAck {
+    job_id: u64,
+    state: String,
+    /// True when an identical running job absorbed this submission.
+    deduplicated: bool,
+}
+
+/// `POST /v1/jobs/tune`: mint (or join) a background sweep job.
+fn handle_job_submit(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let req: TuneRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let key = match serde_json::to_string(&req) {
+        Ok(k) => k,
+        Err(e) => return bad_request(&format!("canonicalising request: {e}")),
+    };
+    let sub = shared.jobs.submit(&key);
+    if sub.fresh {
+        let worker_shared = Arc::clone(shared);
+        let job = Arc::clone(&sub.job);
+        let spawned =
+            thread::Builder::new().name(format!("hanayo-serve-job-{}", job.id)).spawn(move || {
+                let ctx = TuneContext {
+                    caches: Some(worker_shared.state.caches_for(req.config_key())),
+                    abort: Some(Arc::clone(&job.abort)),
+                    progress: Some(Arc::clone(&job.progress)),
+                    checkpoint_every: 0,
+                };
+                let state = match run_tune(&req, &ctx) {
+                    Ok(table) => match serde_json::to_string(&table) {
+                        Ok(s) => JobState::Done(s + "\n"),
+                        Err(e) => {
+                            JobState::Failed(error_body(&format!("serialising the table: {e}")))
+                        }
+                    },
+                    Err(RunError::BadRequest(msg)) => JobState::Failed(error_body(&msg)),
+                    Err(RunError::Cancelled { .. }) => JobState::Cancelled,
+                };
+                let outcome = match &state {
+                    JobState::Done(_) => "done",
+                    JobState::Failed(_) => "failed",
+                    _ => "cancelled",
+                };
+                counter_add("hanayo_serve_jobs_total", &[("outcome", outcome)], 1);
+                job.finish(state);
+                worker_shared.jobs.retire_key(&job.key, job.id);
+            });
+        match spawned {
+            Ok(handle) => shared.jobs.track_worker(handle),
+            Err(e) => {
+                sub.job.finish(JobState::Failed(error_body(&format!("spawning worker: {e}"))));
+                shared.jobs.retire_key(&sub.job.key, sub.job.id);
+                return Response::json(500, error_body(&format!("spawning worker: {e}")));
+            }
+        }
+    }
+    let ack = JobAck { job_id: sub.job.id, state: "running".to_string(), deduplicated: !sub.fresh };
+    let (_, body) = doc_body(&ack);
+    Response::json(202, body)
+}
+
+/// Acknowledgement for a job cancellation.
+#[derive(Serialize)]
+struct CancelAck {
+    job_id: u64,
+    /// Did this cancel actually initiate the abort (interest hit zero)?
+    aborting: bool,
+}
+
+/// `GET`/`POST /v1/jobs/...` routing.
+fn handle_jobs(shared: &Shared, req: &Request) -> Response {
+    let rest = &req.path["/v1/jobs/".len()..];
+    let (id_str, action) = match rest.strip_suffix("/result") {
+        Some(id) => (id, "result"),
+        None => match rest.strip_suffix("/cancel") {
+            Some(id) => (id, "cancel"),
+            None => (rest, "status"),
+        },
+    };
+    let id: u64 = match id_str.parse() {
+        Ok(id) => id,
+        Err(_) => return Response::json(404, error_body(&format!("bad job id {id_str}"))),
+    };
+    let job = match shared.jobs.get(id) {
+        Some(job) => job,
+        None => return Response::json(404, error_body(&format!("no job {id}"))),
+    };
+    match (req.method.as_str(), action) {
+        ("GET", "status") => {
+            let (status, body) = doc_body(&job.status());
+            Response::json(status, body)
+        }
+        ("GET", "result") => match job.state() {
+            JobState::Done(body) => Response::json(200, body),
+            JobState::Running => {
+                let (_, body) = doc_body(&job.status());
+                Response::json(202, body)
+            }
+            JobState::Cancelled => Response::json(409, error_body(&format!("job {id} cancelled"))),
+            JobState::Failed(body) => {
+                Response { status: 500, content_type: "application/json", body: body.into_bytes() }
+            }
+        },
+        ("POST", "cancel") => {
+            if job.state() != JobState::Running {
+                return Response::json(409, error_body(&format!("job {id} already finished")));
+            }
+            let aborting = shared.jobs.cancel(&job);
+            let (status, body) = doc_body(&CancelAck { job_id: id, aborting });
+            Response::json(status, body)
+        }
+        _ => Response::json(405, error_body("method not allowed")),
+    }
+}
+
+/// Route one request. `Accepting new work` is refused while draining;
+/// reads keep answering so clients can collect results during the drain.
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
+    let draining = shared.state.is_draining();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n".to_string()),
+        ("GET", "/metrics") => {
+            shared.state.export_cache_gauges();
+            let text = hanayo_metrics::expo::prometheus(&hanayo_metrics::snapshot());
+            Response::text(200, text)
+        }
+        ("POST", "/shutdown") => {
+            shared.begin_shutdown();
+            Response::json(200, "{\"draining\":true}\n".to_string())
+        }
+        ("POST", _) if draining => {
+            Response::json(503, error_body("draining: not accepting new work"))
+        }
+        ("POST", "/v1/plan") => match parse_body::<PlanRequest>(&req.body) {
+            Ok(r) => {
+                let (status, body) = outcome_body(run_plan(&r));
+                Response::json(status, body)
+            }
+            Err(resp) => resp,
+        },
+        ("POST", "/v1/simulate") => match parse_body::<SimulateRequest>(&req.body) {
+            Ok(r) => {
+                let (status, body) = outcome_body(run_simulate(&r));
+                Response::json(status, body)
+            }
+            Err(resp) => resp,
+        },
+        ("POST", "/v1/analyze") => match parse_body::<AnalyzeRequest>(&req.body) {
+            Ok(r) => {
+                let (status, body) = outcome_body(run_analyze(&r));
+                Response::json(status, body)
+            }
+            Err(resp) => resp,
+        },
+        ("POST", "/v1/tune") => handle_tune(shared, &req.body),
+        ("POST", "/v1/jobs/tune") => handle_job_submit(shared, &req.body),
+        (_, p) if p.starts_with("/v1/jobs/") => handle_jobs(shared, req),
+        (m, p)
+            if matches!(
+                p,
+                "/healthz"
+                    | "/metrics"
+                    | "/v1/plan"
+                    | "/v1/simulate"
+                    | "/v1/analyze"
+                    | "/v1/tune"
+                    | "/v1/jobs/tune"
+                    | "/shutdown"
+            ) =>
+        {
+            Response::json(405, error_body(&format!("{m} not allowed on {p}")))
+        }
+        (_, p) => Response::json(404, error_body(&format!("no such endpoint {p}"))),
+    }
+}
+
+/// Dispatch plus per-endpoint accounting.
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    let endpoint = endpoint_label(&req.path);
+    let started = monotonic_nanos();
+    let resp = dispatch(shared, req);
+    let elapsed = monotonic_nanos().saturating_sub(started);
+    observe("hanayo_serve_latency_ns", &[("endpoint", endpoint)], NANOS_BUCKETS, elapsed);
+    let code = resp.status.to_string();
+    counter_add("hanayo_serve_requests_total", &[("endpoint", endpoint), ("code", &code)], 1);
+    resp
+}
+
+/// One keep-alive connection, until close, error or shutdown.
+fn connection(shared: Arc<Shared>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let reader_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                // A response computed while the drain started still goes
+                // out, but the connection closes behind it.
+                let resp = route(&shared, &req);
+                let close = req.wants_close() || shared.shutdown.is_tripped();
+                if write_response(&mut stream, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(ReadError::TimedOut) => {
+                if shared.shutdown.is_tripped() {
+                    return;
+                }
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let _ = write_response(&mut stream, &bad_request(&msg), true);
+                return;
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::stop`] (or POST `/shutdown`).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    drained: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// The address actually bound (use port 0 to let the OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin draining without waiting: refuse new work, abort sweeps.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Has the accept loop fully drained and exited?
+    pub fn is_drained(&self) -> bool {
+        self.drained.load(Ordering::SeqCst)
+    }
+
+    /// How many requests were answered from another identical request's
+    /// computation (sync dedup only; job dedup is in the metrics).
+    pub fn dedup_joins(&self) -> u64 {
+        self.shared.state.inflight.join_count()
+    }
+
+    /// Shut down and wait for the drain to complete: running sweeps
+    /// abort at their next candidate-batch checkpoint, job workers and
+    /// connection threads are joined. Bounded by the checkpoint spacing
+    /// plus the connection read timeout, not by sweep length.
+    pub fn stop(&self) {
+        self.shutdown();
+        let handle = match self.accept.lock() {
+            Ok(mut g) => g.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// [`Server::stop`] with a deadline: returns `true` when the drain
+    /// completed in time, `false` when threads were still closing when
+    /// the deadline passed (the process may exit anyway — aborted sweeps
+    /// hold nothing worth waiting for).
+    pub fn stop_within(&self, deadline: Duration) -> bool {
+        self.shutdown();
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if self.is_drained() {
+                self.stop();
+                return true;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.is_drained()
+    }
+}
+
+/// Bind and start serving. `bind` is a `host:port` pair; port 0 picks a
+/// free port (read it back from [`Server::addr`]). Enables the metrics
+/// registry — a planning service without `/metrics` is flying blind.
+pub fn serve(bind: &str) -> std::io::Result<Server> {
+    hanayo_metrics::set_enabled(true);
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared::new());
+    let drained = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let drained = Arc::clone(&drained);
+        thread::Builder::new().name("hanayo-serve-accept".to_string()).spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !shared.shutdown.is_tripped() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&shared);
+                        let spawned = thread::Builder::new()
+                            .name("hanayo-serve-conn".to_string())
+                            .spawn(move || connection(shared, stream));
+                        if let Ok(handle) = spawned {
+                            conns.push(handle);
+                        }
+                        // Keep the handle list from growing unboundedly
+                        // on long-lived servers.
+                        if conns.len() > 64 {
+                            conns.retain(|h| !h.is_finished());
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // Drain: sweeps abort at their next checkpoint, connections
+            // notice the flag within one read timeout.
+            shared.begin_shutdown();
+            shared.jobs.drain();
+            for handle in conns {
+                let _ = handle.join();
+            }
+            drained.store(true, Ordering::SeqCst);
+        })?
+    };
+    Ok(Server { addr, shared, accept: Mutex::new(Some(accept)), drained })
+}

@@ -1,0 +1,56 @@
+//! SIGINT/SIGTERM → a flag, with no libc crate: the two symbols the
+//! handler needs (`signal(2)` and the signal numbers) are stable POSIX
+//! ABI, declared here directly. The handler itself only stores to an
+//! `AtomicBool` — async-signal-safe by construction.
+
+#[cfg(unix)]
+mod unix {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGINT and SIGTERM to the flag. Idempotent.
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX call of that name; the handler
+        // only performs an atomic store, which is async-signal-safe.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// Has a termination signal arrived since [`install`]?
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+pub use unix::{install, triggered};
+
+#[cfg(not(unix))]
+mod fallback {
+    /// No signal routing off unix; the flag simply never trips and the
+    /// server stops via `/shutdown` or [`crate::server::Server::stop`].
+    pub fn install() {}
+
+    /// Always false off unix.
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+#[cfg(not(unix))]
+pub use fallback::{install, triggered};

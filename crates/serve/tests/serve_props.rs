@@ -1,0 +1,65 @@
+//! Property tests for the wire path: across random `(model, cluster,
+//! batch)` triples, a tune served over HTTP (parallel evaluation, shared
+//! caches, request dedup) must return a body **byte-identical** to the
+//! serial reference sweep built directly in-process. Neither the
+//! transport, the cache layer, nor worker interleaving may leak into the
+//! ranking bytes.
+
+use hanayo_serve::schema::{run_tune, TuneRequest};
+use hanayo_serve::{serve, Client, Server};
+use hanayo_sim::TuneContext;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One resident server for every case: the cross-request cache layer is
+/// part of what's under test — later cases hit caches warmed by earlier
+/// ones and must still serve identical bytes.
+fn shared_server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| serve("127.0.0.1:0").expect("bind shared server"))
+}
+
+fn request_for(model_idx: usize, cluster_idx: usize, batch: u32, wide: bool) -> TuneRequest {
+    let model = if model_idx == 0 { "bert64" } else { "gpt128" };
+    let cluster = ["pc", "fc", "tacc", "tc"][cluster_idx];
+    TuneRequest {
+        model: model.to_string(),
+        cluster: cluster.to_string(),
+        gpus: 8,
+        batch,
+        micro_batch_size: 1,
+        train_bytes_per_param: 8,
+        min_pp: 4,
+        waves: vec![1, 2],
+        recompute: None,
+        wide,
+        serial: false,
+        top: Some(5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn served_tune_is_byte_identical_to_the_serial_reference(
+        model_idx in 0usize..2,
+        cluster_idx in 0usize..4,
+        batch in 4u32..=16,
+        wide in 0u8..2,
+    ) {
+        let req = request_for(model_idx, cluster_idx, batch, wide == 1);
+        let body = serde_json::to_string(&req).expect("request serialises");
+
+        let client = Client::new(shared_server().addr());
+        let served = client.expect_ok("POST", "/v1/tune", Some(&body)).expect("served tune");
+
+        // The serial reference: same request, evaluated one candidate at
+        // a time with no caches and no server in the loop.
+        let reference = TuneRequest { serial: true, ..req };
+        let doc = run_tune(&reference, &TuneContext::default()).expect("reference tune");
+        let reference = serde_json::to_string(&doc).expect("doc serialises") + "\n";
+
+        prop_assert_eq!(served, reference, "wire bytes diverged from the serial reference");
+    }
+}

@@ -28,6 +28,7 @@
 //! re-interpretation (2×DP of 1-wave pipelines) used throughout the
 //! paper's evaluation.
 
+pub mod cache;
 pub mod engine;
 pub mod plan;
 pub mod reference;
@@ -35,6 +36,7 @@ pub mod report;
 pub mod search;
 pub mod tuner;
 
+pub use cache::SweepCaches;
 pub use engine::{
     compile_schedule, reference_engine, set_reference_engine, simulate, simulate_traced,
     try_simulate, try_simulate_compiled, try_simulate_traced, validate_numerics, CompiledSchedule,
@@ -44,4 +46,7 @@ pub use plan::{evaluate_plan, Method, ParallelPlan, PlanResult};
 pub use reference::simulate_reference;
 pub use report::SimReport;
 pub use search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
-pub use tuner::{tune, tune_serial, Candidate, Rejection, TuneOptions, Tuning};
+pub use tuner::{
+    tune, tune_serial, tune_serial_with, tune_with, Candidate, Rejection, TuneContext, TuneError,
+    TuneOptions, TuneProgress, Tuning,
+};

@@ -18,9 +18,7 @@ use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::{build_schedule, ScheduleError};
 use hanayo_model::{CostTable, ModelConfig, Recompute};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
 
 /// The methods compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -213,17 +211,7 @@ pub fn evaluate_plan(
     evaluate_resolved(plan, cluster, opts, (pp_eff, dp_eff, b_eff), &schedule, &cost)
 }
 
-/// Pipeline-group [`SimReport`]s memoised across an entire tuner sweep.
-///
-/// Keys are `(artifact id, first device)`: the caller assigns each
-/// distinct `(schedule, cost table, sim options)` triple a unique id
-/// within one sweep (the cluster is fixed for a sweep), and the first
-/// device plus the schedule's width pin the contiguous sub-cluster. A
-/// report is a pure function of those four inputs, so a memo hit returns
-/// the byte-identical report the simulation would have produced —
-/// concurrent interleaving can fill the map in any order without
-/// perturbing a single value.
-pub(crate) type GroupReportMemo = Mutex<HashMap<(u64, usize), SimReport>>;
+pub(crate) use crate::cache::GroupReportMemo;
 
 /// Cross-candidate reuse handles for [`evaluate_resolved_with`]. The
 /// `Default` value (`none`) reproduces the from-scratch path exactly.
@@ -280,7 +268,7 @@ pub(crate) fn evaluate_resolved_with(
     // reproduced the same report.
     let simulate_sub = |sub: &ClusterSpec, first: usize| -> Result<SimReport, PlanError> {
         if let Some((memo, id)) = reuse.memo {
-            if let Some(hit) = memo.lock().ok().and_then(|m| m.get(&(id, first)).cloned()) {
+            if let Some(hit) = memo.get(&(id, first)) {
                 return Ok(hit);
             }
         }
@@ -293,9 +281,7 @@ pub(crate) fn evaluate_resolved_with(
             other => PlanError::Sim(other),
         })?;
         if let Some((memo, id)) = reuse.memo {
-            if let Ok(mut m) = memo.lock() {
-                m.insert((id, first), report.clone());
-            }
+            memo.insert_if_absent((id, first), report.clone());
         }
         Ok(report)
     };

@@ -32,16 +32,17 @@
 //! corrupt numerics). The sweep binary (`cargo run -p hanayo-repro --bin
 //! sweep`) emits both tables as JSON.
 
-use crate::engine::{compile_schedule, validate_numerics, CompiledSchedule, SimOptions};
+use crate::cache::{CostKey, SchedKey, SweepCaches};
+use crate::engine::{validate_numerics, SimOptions};
 use crate::plan::{
-    evaluate_plan, evaluate_resolved_with, resolve, GroupReportMemo, Method, ParallelPlan,
-    PlanResult, SimReuse,
+    evaluate_plan, evaluate_resolved_with, resolve, Method, ParallelPlan, PlanResult, SimReuse,
 };
 use crate::search::{search_schedule, ScheduleSearchOptions, SearchedSchedule};
 use hanayo_analyze::{check_deadlock_free, static_peak_mem};
 use hanayo_ckpt::recovery;
 use hanayo_ckpt::{RecoveryEval, RecoveryOptions};
 use hanayo_cluster::ClusterSpec;
+use hanayo_core::abort::AbortFlag;
 use hanayo_core::action::Schedule;
 use hanayo_core::config::{PipelineConfig, Scheme};
 use hanayo_core::schedule::build_schedule;
@@ -49,6 +50,8 @@ use hanayo_model::{CostTable, ModelConfig, Recompute};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One evaluated candidate.
@@ -481,179 +484,6 @@ enum Outcome {
 /// ranking regardless of worker interleaving.
 type DeadlockCache = Mutex<HashMap<(Scheme, u32, u32), bool>>;
 
-/// Cache key of a built schedule: the only inputs schedule lowering takes.
-type SchedKey = (Scheme, u32, u32);
-/// Cache key of a cost table (the model is fixed per sweep):
-/// `(stages, micro_batch_size, recompute)`.
-type CostKey = (u32, u32, Recompute);
-/// Hashable image of everything a group simulation's *report* can depend
-/// on beyond `(schedule, cost, sub-cluster)`: the prefetch switch, the
-/// *content* of the prefetch windows (not the lookahead parameters that
-/// produced them — distinct lookaheads whose §4.2 scans saturate to the
-/// same windows drive the engine identically, and with prefetching off the
-/// windows are never read at all, so the id is pinned to 0), the
-/// all-reduce overlap via its bit pattern, and the trace switch (kept out
-/// of caution even though traced reports are pinned bit-identical).
-type ReportKey = (bool, u32, u64, bool);
-
-fn report_key(sim: &SimOptions, content_id: u32) -> ReportKey {
-    let windows = if sim.prefetch { content_id } else { 0 };
-    (sim.prefetch, windows, sim.allreduce_overlap.to_bits(), sim.trace)
-}
-
-/// Static per-device memory replays, keyed by (schedule, cost) pair.
-type PeakCache = Mutex<HashMap<(SchedKey, CostKey), Arc<Vec<u64>>>>;
-
-/// A cached engine lowering plus its content id (see
-/// [`SweepCaches::compiled`]).
-type CompiledEntry = (Arc<CompiledSchedule>, u32);
-
-/// Cross-candidate artifact caches for one sweep ([`TuneOptions::batched`]).
-///
-/// The wide sweep's axes (sim-option ablations, recompute modes,
-/// micro-batch merges) multiply a handful of distinct pipeline shapes into
-/// hundreds of candidates; per candidate, the seed path re-built the
-/// schedule, the cost table, the static memory replay, the engine lowering
-/// and — for every data-parallel clone of a shape — the group simulation
-/// itself. Each cache below is keyed by the *complete* set of inputs its
-/// artifact is a pure function of, so a hit returns byte-for-byte what the
-/// miss path would have computed and worker interleaving (which thread
-/// populates an entry first) cannot perturb the ranking. A poisoned lock
-/// degrades to rebuilding, never to a wrong or missing result.
-#[derive(Default)]
-struct SweepCaches {
-    /// Built schedules.
-    schedules: Mutex<HashMap<SchedKey, Arc<Schedule>>>,
-    /// Cost tables.
-    costs: Mutex<HashMap<CostKey, Arc<CostTable>>>,
-    /// Static per-device memory replays (group-local peaks).
-    peaks: PeakCache,
-    /// Engine lowerings, additionally keyed by the two lookahead
-    /// parameters [`compile_schedule`] bakes in. The `u32` is the
-    /// lowering's *content id*: lookahead variants of the same schedule
-    /// whose prefetch scans saturated to identical windows
-    /// ([`CompiledSchedule::same_lowering`]) share one id, which is what
-    /// lets their simulations collapse into a single [`GroupReportMemo`]
-    /// entry.
-    compiled: Mutex<HashMap<(SchedKey, usize, usize), CompiledEntry>>,
-    /// Collision-free ids for `(schedule, cost, report inputs)` triples;
-    /// [`GroupReportMemo`] entries are keyed on them.
-    report_ids: Mutex<HashMap<(SchedKey, CostKey, ReportKey), u64>>,
-    /// Pipeline-group reports, shared with
-    /// [`crate::plan::evaluate_resolved_with`].
-    reports: GroupReportMemo,
-}
-
-/// One registry increment per cache probe, disabled-path cost a single
-/// relaxed load. Hit/miss totals are deterministic under serial sweeps;
-/// parallel sweeps may split them differently between hit and miss
-/// (whichever thread populates first), which is why the golden
-/// exposition pins the serial path.
-fn record_cache(cache: &'static str, hit: bool) {
-    if hanayo_metrics::enabled() {
-        let name =
-            if hit { "hanayo_tuner_cache_hits_total" } else { "hanayo_tuner_cache_misses_total" };
-        hanayo_metrics::counter_add(name, &[("cache", cache)], 1);
-    }
-}
-
-impl SweepCaches {
-    fn schedule_for(&self, key: SchedKey, cfg: &PipelineConfig) -> Option<Arc<Schedule>> {
-        if let Some(hit) = self.schedules.lock().ok().and_then(|m| m.get(&key).cloned()) {
-            record_cache("schedules", true);
-            return Some(hit);
-        }
-        record_cache("schedules", false);
-        let built = Arc::new(build_schedule(cfg).ok()?);
-        if let Ok(mut m) = self.schedules.lock() {
-            m.entry(key).or_insert_with(|| built.clone());
-        }
-        Some(built)
-    }
-
-    fn cost_for(&self, key: CostKey, model: &ModelConfig) -> Arc<CostTable> {
-        if let Some(hit) = self.costs.lock().ok().and_then(|m| m.get(&key).cloned()) {
-            record_cache("costs", true);
-            return hit;
-        }
-        record_cache("costs", false);
-        let (stages, micro_batch_size, recompute) = key;
-        let built = Arc::new(CostTable::build_with(model, stages, micro_batch_size, recompute));
-        if let Ok(mut m) = self.costs.lock() {
-            m.entry(key).or_insert_with(|| built.clone());
-        }
-        built
-    }
-
-    fn peaks_for(
-        &self,
-        key: (SchedKey, CostKey),
-        schedule: &Schedule,
-        cost: &CostTable,
-    ) -> Arc<Vec<u64>> {
-        if let Some(hit) = self.peaks.lock().ok().and_then(|m| m.get(&key).cloned()) {
-            record_cache("peaks", true);
-            return hit;
-        }
-        record_cache("peaks", false);
-        let built = Arc::new(static_peak_mem(schedule, cost));
-        if let Ok(mut m) = self.peaks.lock() {
-            m.entry(key).or_insert_with(|| built.clone());
-        }
-        built
-    }
-
-    /// The lowering for `(key, lookaheads)` plus its content id. A fresh
-    /// lowering is first compared against the other lookahead variants of
-    /// the *same* schedule: if the scans saturated to identical windows it
-    /// adopts their content id (ids are scoped per [`SchedKey`] by every
-    /// consumer, so ids from different schedules may coincide freely).
-    fn compiled_for(
-        &self,
-        key: SchedKey,
-        schedule: &Schedule,
-        sim: &SimOptions,
-    ) -> (Arc<CompiledSchedule>, u32) {
-        let full = (key, sim.recv_lookahead, sim.lookahead_window);
-        if let Some(hit) = self.compiled.lock().ok().and_then(|m| m.get(&full).cloned()) {
-            record_cache("compiled", true);
-            return hit;
-        }
-        record_cache("compiled", false);
-        let built = Arc::new(compile_schedule(schedule, sim));
-        if let Ok(mut m) = self.compiled.lock() {
-            let fresh = m.len() as u32;
-            let content = m
-                .iter()
-                .find(|((k, _, _), (other, _))| *k == key && other.same_lowering(&built))
-                .map(|(_, (_, id))| *id)
-                .unwrap_or(fresh);
-            return m.entry(full).or_insert((built, content)).clone();
-        }
-        // Poisoned lock: fall back to a private lowering with an id no
-        // cached entry can share, so a memo collision is impossible.
-        (built, u32::MAX)
-    }
-
-    /// The [`GroupReportMemo`] id for this artifact triple: first caller
-    /// allocates, later callers agree. Ids are assigned by a map (not a
-    /// hash), so distinct triples can never share a memo slot.
-    fn report_id(
-        &self,
-        schedule_key: SchedKey,
-        cost_key: CostKey,
-        sim: &SimOptions,
-        content_id: u32,
-    ) -> Option<u64> {
-        if content_id == u32::MAX {
-            return None;
-        }
-        let mut ids = self.report_ids.lock().ok()?;
-        let next = ids.len() as u64;
-        Some(*ids.entry((schedule_key, cost_key, report_key(sim, content_id))).or_insert(next))
-    }
-}
-
 /// What the static pre-pass decided about one plan.
 enum StaticVerdict {
     /// Statically proven OOM on a deadlock-free schedule: skip the
@@ -764,15 +594,22 @@ fn static_verdict(
     // schedule shape share one memoized verdict. A poisoned cache lock
     // degrades to recomputing, never to a wrong verdict.
     let key = (scheme, pp_eff, b_eff);
-    let cached = dl_cache.lock().ok().and_then(|m| m.get(&key).copied());
-    let deadlock_free = match cached {
-        Some(v) => v,
+    let deadlock_free = match caches {
+        // Batched sweeps park the verdict in the shared caches, where a
+        // resident service can reuse it across requests.
+        Some(c) => c.deadlock_free(key, &schedule),
         None => {
-            let v = check_deadlock_free(&schedule).is_ok();
-            if let Ok(mut m) = dl_cache.lock() {
-                m.insert(key, v);
+            let cached = dl_cache.lock().ok().and_then(|m| m.get(&key).copied());
+            match cached {
+                Some(v) => v,
+                None => {
+                    let v = check_deadlock_free(&schedule).is_ok();
+                    if let Ok(mut m) = dl_cache.lock() {
+                        m.insert(key, v);
+                    }
+                    v
+                }
             }
-            v
         }
     };
     if !deadlock_free {
@@ -956,6 +793,144 @@ fn evaluate_candidate_inner(
     (*plan, *sim, outcome)
 }
 
+/// Live progress of one sweep, shared with whoever is watching it — the
+/// planning service's job monitor endpoint reads these counters while the
+/// sweep runs on a worker thread.
+#[derive(Debug, Default)]
+pub struct TuneProgress {
+    evaluated: AtomicU64,
+    total: AtomicU64,
+}
+
+impl TuneProgress {
+    /// Candidates evaluated so far.
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated.load(Ordering::SeqCst)
+    }
+
+    /// Total candidates in the sweep's space (0 until the space has been
+    /// enumerated).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::SeqCst)
+    }
+}
+
+/// Caller-supplied hooks for a long-running sweep: shared artifact
+/// caches, cooperative cancellation, and live progress. The default
+/// context reproduces the plain [`tune`] behaviour exactly.
+#[derive(Clone, Default)]
+pub struct TuneContext {
+    /// Artifact caches shared *across* sweeps. `None` gives each sweep
+    /// its own caches (when [`TuneOptions::batched`] is on). **Sharing
+    /// contract:** the cache keys assume one model and one cluster — a
+    /// resident service must key its shared handles by the `(model,
+    /// cluster)` configuration. Ignored when `batched` is off.
+    pub caches: Option<Arc<SweepCaches>>,
+    /// Cooperative cancellation: checked between candidate batches; a
+    /// tripped flag makes the sweep return [`TuneError::Cancelled`]
+    /// instead of running to completion after its client is gone.
+    pub abort: Option<Arc<AbortFlag>>,
+    /// Live progress counters, updated once per candidate batch.
+    pub progress: Option<Arc<TuneProgress>>,
+    /// Candidates per batch between abort checkpoints; `0` means the
+    /// default (32). Chunking never reorders evaluation, so results are
+    /// byte-identical for every batch size.
+    pub checkpoint_every: usize,
+}
+
+/// Default candidates per batch between cancellation checkpoints: small
+/// enough that a cancel lands within tens of milliseconds on typical
+/// spaces, large enough that parallel batches keep every worker busy.
+const DEFAULT_CHECKPOINT_EVERY: usize = 32;
+
+/// Why a context-driven sweep stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The context's [`AbortFlag`] tripped at a candidate-batch
+    /// checkpoint; the sweep stopped without ranking.
+    Cancelled {
+        /// Candidates already evaluated when the flag was observed.
+        evaluated: usize,
+        /// Total candidates the sweep would have evaluated.
+        total: usize,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Cancelled { evaluated, total } => {
+                write!(f, "sweep cancelled after {evaluated}/{total} candidates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// The shared sweep driver behind all four public entry points: enumerate
+/// the space, evaluate it in candidate batches (parallel within a batch
+/// when `parallel`, strictly in order otherwise — either way results are
+/// collected in candidate order, so every configuration is byte-identical),
+/// honour the context's abort flag between batches, and assemble the
+/// ranking.
+fn tune_impl(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+    ctx: &TuneContext,
+    parallel: bool,
+) -> Result<Tuning, TuneError> {
+    let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
+    let dl_cache = DeadlockCache::default();
+    // Shared caches only apply to batched sweeps (they hold exactly the
+    // cross-candidate artifacts batching shares); an unbatched sweep
+    // ignores a supplied handle rather than silently turning batching on.
+    let owned = (opts.batched && ctx.caches.is_none()).then(SweepCaches::default);
+    let caches: Option<&SweepCaches> =
+        if opts.batched { ctx.caches.as_deref().or(owned.as_ref()) } else { None };
+    if let Some(p) = &ctx.progress {
+        p.total.store(space.len() as u64, Ordering::SeqCst);
+        p.evaluated.store(0, Ordering::SeqCst);
+    }
+    let step =
+        if ctx.checkpoint_every > 0 { ctx.checkpoint_every } else { DEFAULT_CHECKPOINT_EVERY };
+    // Inert off a TTY (one atomic add per candidate, no clock reads), so
+    // tests and CI see exactly the non-interactive path.
+    let progress = hanayo_metrics::Progress::new("sweep", space.len() as u64);
+    let mut evaluated: Vec<(ParallelPlan, SimOptions, Outcome)> = Vec::with_capacity(space.len());
+    for batch in space.chunks(step) {
+        if ctx.abort.as_ref().is_some_and(|a| a.is_tripped()) {
+            progress.finish();
+            return Err(TuneError::Cancelled { evaluated: evaluated.len(), total: space.len() });
+        }
+        if parallel {
+            let outcomes: Vec<_> = batch
+                .par_iter()
+                .map(|cand| {
+                    let out = evaluate_candidate(model, cluster, opts, &dl_cache, caches, cand);
+                    progress.tick();
+                    out
+                })
+                .collect();
+            evaluated.extend(outcomes);
+        } else {
+            evaluated.extend(batch.iter().map(|cand| {
+                let out = evaluate_candidate(model, cluster, opts, &dl_cache, caches, cand);
+                progress.tick();
+                out
+            }));
+        }
+        if let Some(p) = &ctx.progress {
+            p.evaluated.store(evaluated.len() as u64, Ordering::SeqCst);
+        }
+    }
+    progress.finish();
+    Ok(attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts))
+}
+
 /// Sweep the strategy space and rank feasible plans by throughput,
 /// evaluating candidates in parallel. The ranking is byte-identical to
 /// [`tune_serial`] — see the module docs.
@@ -970,22 +945,30 @@ pub fn tune(
     micro_batch_size: u32,
     opts: &TuneOptions,
 ) -> Tuning {
-    let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
-    let dl_cache = DeadlockCache::default();
-    let caches = opts.batched.then(SweepCaches::default);
-    // Inert off a TTY (one atomic add per candidate, no clock reads), so
-    // tests and CI see exactly the non-interactive path.
-    let progress = hanayo_metrics::Progress::new("sweep", space.len() as u64);
-    let evaluated: Vec<_> = space
-        .par_iter()
-        .map(|cand| {
-            let out = evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand);
-            progress.tick();
-            out
-        })
-        .collect();
-    progress.finish();
-    attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
+    let ctx = TuneContext::default();
+    match tune_impl(model, cluster, global_micro_batches, micro_batch_size, opts, &ctx, true) {
+        Ok(t) => t,
+        // Unreachable: cancellation needs an abort flag and the default
+        // context carries none. An empty tuning is the safe fallback.
+        Err(TuneError::Cancelled { .. }) => {
+            Tuning { ranked: Vec::new(), rejected: Vec::new(), searched: None }
+        }
+    }
+}
+
+/// [`tune`] with caller-supplied hooks: shared caches, cooperative
+/// cancellation, live progress. Byte-identical to [`tune`] whenever it
+/// runs to completion — the context changes *when* a sweep may stop and
+/// *where* artifacts live, never what it computes.
+pub fn tune_with(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+    ctx: &TuneContext,
+) -> Result<Tuning, TuneError> {
+    tune_impl(model, cluster, global_micro_batches, micro_batch_size, opts, ctx, true)
 }
 
 /// The serial reference for [`tune`]: identical candidate space, identical
@@ -998,14 +981,26 @@ pub fn tune_serial(
     micro_batch_size: u32,
     opts: &TuneOptions,
 ) -> Tuning {
-    let space = candidate_space(cluster.len() as u32, global_micro_batches, micro_batch_size, opts);
-    let dl_cache = DeadlockCache::default();
-    let caches = opts.batched.then(SweepCaches::default);
-    let evaluated: Vec<_> = space
-        .iter()
-        .map(|cand| evaluate_candidate(model, cluster, opts, &dl_cache, caches.as_ref(), cand))
-        .collect();
-    attach_schedule_search(assemble(evaluated, cluster, opts), model, cluster, opts)
+    let ctx = TuneContext::default();
+    match tune_impl(model, cluster, global_micro_batches, micro_batch_size, opts, &ctx, false) {
+        Ok(t) => t,
+        // Unreachable — see tune().
+        Err(TuneError::Cancelled { .. }) => {
+            Tuning { ranked: Vec::new(), rejected: Vec::new(), searched: None }
+        }
+    }
+}
+
+/// [`tune_serial`] with caller-supplied hooks — see [`tune_with`].
+pub fn tune_serial_with(
+    model: &ModelConfig,
+    cluster: &ClusterSpec,
+    global_micro_batches: u32,
+    micro_batch_size: u32,
+    opts: &TuneOptions,
+    ctx: &TuneContext,
+) -> Result<Tuning, TuneError> {
+    tune_impl(model, cluster, global_micro_batches, micro_batch_size, opts, ctx, false)
 }
 
 #[cfg(test)]
@@ -1257,6 +1252,75 @@ mod tests {
         let without = tune(&model, &cluster, 8, 1, &opts());
         assert!(without.searched.is_none());
         assert_eq!(without.ranked, par.ranked);
+    }
+
+    #[test]
+    fn pre_tripped_abort_cancels_before_any_candidate() {
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let abort = Arc::new(AbortFlag::new());
+        abort.trip();
+        let ctx = TuneContext { abort: Some(abort), ..Default::default() };
+        let err = tune_with(&model, &fc_full_nvlink(8), 8, 1, &opts(), &ctx)
+            .expect_err("a tripped flag must cancel the sweep");
+        let TuneError::Cancelled { evaluated, total } = err;
+        assert_eq!(evaluated, 0);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn abort_between_batches_stops_the_sweep_partway() {
+        // A 1-candidate batch size with a flag tripped from a progress
+        // watcher: the sweep must stop at a checkpoint, not run dry.
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = fc_full_nvlink(8);
+        let abort = Arc::new(AbortFlag::new());
+        let progress = Arc::new(TuneProgress::default());
+        let ctx = TuneContext {
+            abort: Some(abort.clone()),
+            progress: Some(progress.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let watcher = {
+            let abort = abort.clone();
+            let progress = progress.clone();
+            std::thread::spawn(move || {
+                while progress.evaluated() < 2 {
+                    std::thread::yield_now();
+                }
+                abort.trip();
+            })
+        };
+        let result = tune_serial_with(&model, &cluster, 16, 1, &opts().wide(), &ctx);
+        watcher.join().expect("watcher thread");
+        let TuneError::Cancelled { evaluated, total } =
+            result.expect_err("the tripped flag must cancel mid-sweep");
+        assert!(evaluated >= 2, "cancel observed after the watcher's threshold");
+        assert!(evaluated < total, "the sweep must not have run to completion");
+        assert_eq!(progress.total(), total as u64);
+    }
+
+    #[test]
+    fn context_hooks_do_not_change_the_answer() {
+        // Shared caches + progress + an (untripped) abort flag + odd batch
+        // size: byte-identical to the plain paths, parallel and serial.
+        let model = ModelConfig::bert64().with_train_bytes_per_param(8);
+        let cluster = lonestar6(8);
+        let wide = opts().wide();
+        let shared = Arc::new(SweepCaches::default());
+        let ctx = TuneContext {
+            caches: Some(shared.clone()),
+            abort: Some(Arc::new(AbortFlag::new())),
+            progress: Some(Arc::new(TuneProgress::default())),
+            checkpoint_every: 7,
+        };
+        let plain = tune(&model, &cluster, 16, 1, &wide);
+        let hooked = tune_with(&model, &cluster, 16, 1, &wide, &ctx).expect("untripped");
+        assert_eq!(plain, hooked);
+        // A second sweep over the now-warm shared caches: still identical.
+        let warm = tune_serial_with(&model, &cluster, 16, 1, &wide, &ctx).expect("untripped");
+        assert_eq!(plain, warm);
+        assert!(shared.entries() > 0, "the shared handle must have been populated");
     }
 
     #[test]

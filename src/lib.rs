@@ -31,6 +31,9 @@
 //! * [`metrics`] — zero-perturbation observability: the shard-per-thread
 //!   metrics registry, the `HANAYO_LOG` structured-logging facade, and
 //!   the Prometheus/JSON expositions every long-running binary can emit.
+//! * [`serve`] — the resident planning service: an HTTP/1.1 host over the
+//!   tuner with cross-request sweep caches, in-flight request dedup,
+//!   cancellable background jobs and graceful drain.
 //! * [`repro`] — regeneration of every figure in the paper's evaluation.
 //!
 //! ## Quickstart
@@ -60,6 +63,7 @@ pub use hanayo_metrics as metrics;
 pub use hanayo_model as model;
 pub use hanayo_repro as repro;
 pub use hanayo_runtime as runtime;
+pub use hanayo_serve as serve;
 pub use hanayo_sim as sim;
 pub use hanayo_tensor as tensor;
 pub use hanayo_trace as trace;
